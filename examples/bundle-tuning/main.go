@@ -1,0 +1,59 @@
+// Bundle tuning: explore PARCEL's latency/energy trade-off (§4.4, §6, §8.3).
+// The proxy can push objects individually (IND), in fixed-size bundles
+// (PARCEL(X)) or as one batch at onload (ONLD). The §6 model predicts the
+// energy-optimal bundle size b* = α·sqrt(s·B); this example sweeps measured
+// bundle sizes around it on a large page and prints both the analytic curve
+// and the simulated outcomes.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/parcel-go/parcel"
+)
+
+func main() {
+	pages := parcel.GeneratePages(7, 34)
+	// Pick a large page — bundling matters most there (Figure 9c).
+	page := pages[0]
+	for _, p := range pages {
+		if p.TotalBytes > page.TotalBytes {
+			page = p
+		}
+	}
+	fmt.Printf("page %s: %.2f MB, %d objects\n\n", page.Name, float64(page.TotalBytes)/1e6, page.ObjectCount)
+
+	radio := parcel.DefaultLTERadio()
+	speed := 6e6 / 8.0 // ≈ the observed median download speed (§8.3)
+	bStar := parcel.OptimalBundleSize(radio, speed, float64(page.TotalBytes))
+	fmt.Printf("analytic: alpha=%.3f, b* = %.0f KB for this page at 6 Mbps\n\n", radio.Alpha(), bStar/1e3)
+
+	fmt.Printf("%-14s %8s %8s %10s\n", "schedule", "OLT", "TLT", "radio (J)")
+	schedules := []parcel.Schedule{
+		parcel.IND(),
+		parcel.Threshold(256 << 10),
+		parcel.Threshold(512 << 10),
+		parcel.Threshold(int(bStar)),
+		parcel.Threshold(2 << 20),
+		parcel.ONLD(),
+	}
+	var baseline parcel.PageRun
+	for i, s := range schedules {
+		topo := parcel.BuildTopology(page, parcel.DefaultNetwork())
+		run := parcel.RunPARCEL(topo, s)
+		if i == 0 {
+			baseline = run
+		}
+		marker := ""
+		if s == parcel.Threshold(int(bStar)) {
+			marker = "  <- analytic b*"
+		}
+		fmt.Printf("%-14s %7.2fs %7.2fs %10.2f%s\n", run.Scheme, run.OLT.Seconds(), run.TLT.Seconds(), run.RadioJ, marker)
+	}
+
+	fmt.Printf("\nrelative to IND: larger bundles trade onload latency for fewer radio\n")
+	fmt.Printf("state transitions; IND baseline OLT %.2fs, energy %.2f J.\n",
+		baseline.OLT.Seconds(), baseline.RadioJ)
+	_ = time.Second
+}

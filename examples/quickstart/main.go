@@ -1,0 +1,38 @@
+// Quickstart: load one synthetic page with the traditional mobile browser
+// (DIR) and with PARCEL on a simulated LTE network, and compare onload time,
+// total load time, radio energy and client request counts — the comparison
+// behind the paper's headline result (§8.1).
+package main
+
+import (
+	"fmt"
+
+	"github.com/parcel-go/parcel"
+)
+
+func main() {
+	// A deterministic page set calibrated to the paper's Alexa statistics.
+	pages := parcel.GeneratePages(1, 4)
+	page := pages[2]
+	fmt.Printf("page %s: %d objects, %.2f MB over %d domains\n\n",
+		page.Name, page.ObjectCount, float64(page.TotalBytes)/1e6, len(page.Domains))
+
+	// Each scheme runs on a fresh topology: same page, same LTE access,
+	// caches cold (the paper's per-round methodology, §7.3).
+	dir := parcel.RunDIR(parcel.BuildTopology(page, parcel.DefaultNetwork()))
+	ind := parcel.RunPARCEL(parcel.BuildTopology(page, parcel.DefaultNetwork()), parcel.IND())
+	onld := parcel.RunPARCEL(parcel.BuildTopology(page, parcel.DefaultNetwork()), parcel.ONLD())
+
+	fmt.Printf("%-14s %8s %8s %10s %10s %8s\n", "scheme", "OLT", "TLT", "radio (J)", "requests", "conns")
+	for _, run := range []parcel.PageRun{dir, ind, onld} {
+		fmt.Printf("%-14s %7.2fs %7.2fs %10.2f %10d %8d\n",
+			run.Scheme, run.OLT.Seconds(), run.TLT.Seconds(), run.RadioJ,
+			run.HTTPRequests, run.ConnsOpened)
+	}
+
+	fmt.Printf("\nPARCEL(IND) vs DIR: OLT -%.0f%%, radio energy -%.0f%%\n",
+		100*(1-ind.OLT.Seconds()/dir.OLT.Seconds()),
+		100*(1-ind.RadioJ/dir.RadioJ))
+	fmt.Printf("RRC transitions: DIR %d vs PARCEL %d (fewer transitions = friendlier to the radio)\n",
+		dir.Radio.Transitions, ind.Radio.Transitions)
+}

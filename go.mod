@@ -1,0 +1,3 @@
+module github.com/parcel-go/parcel
+
+go 1.22

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/browser"
+	"github.com/parcel-go/parcel/internal/eventsim"
+	"github.com/parcel-go/parcel/internal/httpsim"
+	"github.com/parcel-go/parcel/internal/scenario"
+	"github.com/parcel-go/parcel/internal/sched"
+	"github.com/parcel-go/parcel/internal/simnet"
+	"github.com/parcel-go/parcel/internal/trace"
+)
+
+// ProxyConfig tunes the PARCEL proxy.
+type ProxyConfig struct {
+	// Sched is the bundle schedule (IND / PARCEL(X) / ONLD).
+	Sched sched.Config
+	// QuietPeriod is the post-onload proxy↔server inactivity window after
+	// which the proxy declares the page complete (§4.5). The paper derives
+	// it from the post-onload inter-arrival statistic (95% < 5 s).
+	QuietPeriod time.Duration
+	// CPU defaults to the proxy profile.
+	CPU browser.CPUModel
+	// FixedRandom applies the §7.3 replay rewrite inside the proxy's JS
+	// engine.
+	FixedRandom bool
+	// ConnsPerDomain bounds the proxy's origin connection pools.
+	ConnsPerDomain int
+	// CompressionFactor, when in (0,1), scales pushed body bytes on the
+	// wire — the orthogonal data-compression/transformation feature cloud
+	// proxies offer (§3); 0 disables it.
+	CompressionFactor float64
+}
+
+// DefaultProxyConfig returns the evaluation defaults (IND schedule).
+func DefaultProxyConfig() ProxyConfig {
+	return ProxyConfig{
+		Sched:          sched.ConfigIND,
+		QuietPeriod:    3 * time.Second,
+		CPU:            browser.ProxyCPU(),
+		FixedRandom:    true,
+		ConnsPerDomain: 6,
+	}
+}
+
+// Proxy is a running PARCEL proxy: it accepts client connections on the
+// topology's proxy host and serves one page session per connection.
+type Proxy struct {
+	topo *scenario.Topology
+	cfg  ProxyConfig
+
+	// Sessions lists per-connection session states (instrumentation).
+	Sessions []*ProxySession
+}
+
+// StartProxy installs the proxy listener.
+func StartProxy(topo *scenario.Topology, cfg ProxyConfig) *Proxy {
+	if cfg.QuietPeriod == 0 {
+		cfg.QuietPeriod = 3 * time.Second
+	}
+	if cfg.CPU == (browser.CPUModel{}) {
+		cfg.CPU = browser.ProxyCPU()
+	}
+	p := &Proxy{topo: topo, cfg: cfg}
+	topo.Proxy.Listen(func(c *simnet.Conn) {
+		s := &ProxySession{proxy: p, conn: c}
+		p.Sessions = append(p.Sessions, s)
+		c.OnMessage(topo.Proxy, s.onMessage)
+	})
+	return p
+}
+
+// ProxySession is the proxy's state for one client connection.
+type ProxySession struct {
+	proxy *Proxy
+	conn  *simnet.Conn
+
+	engine  *browser.Engine
+	fetcher *proxyFetcher
+	bundler *sched.Bundler
+
+	// cache holds every object collected (for fallback requests).
+	cache map[string]sched.Item
+
+	quietTimer   *eventsim.Event
+	onloadSeen   bool
+	completeSent bool
+
+	// sent mirrors the client cache across page loads in the session: URLs
+	// already delivered are not pushed again on a revisit (§4.5).
+	sent map[string]bool
+
+	// instrumentation
+	BundleLog     []sched.FlushReason
+	BundlesSent   int
+	MirrorHits    int
+	SkippedHTTPS  int
+	ObjectsPushed int
+	BytesPushed   int64
+	FallbacksSeen int
+	OnloadAt      time.Duration
+	CompleteAt    time.Duration
+}
+
+// proxyFetcher wraps the proxy's origin HTTP client, teeing every response
+// into the session (bundling + cache) before the engine processes it.
+type proxyFetcher struct {
+	s      *ProxySession
+	client *httpsim.Client
+}
+
+func (f *proxyFetcher) Fetch(url string, cb func(browser.Result)) {
+	if isHTTPS(url) {
+		// The proxy cannot parse encrypted traffic; the client fetches
+		// these itself over the fallback path (§4.5).
+		f.s.SkippedHTTPS++
+		cb(browser.Result{URL: url, Status: 204, At: f.s.proxy.topo.Sim.Now()})
+		return
+	}
+	f.client.Do(httpsim.Request{Method: "GET", URL: url}, func(resp httpsim.Response, at time.Duration) {
+		f.s.collect(sched.Item{
+			URL: resp.URL, ContentType: resp.ContentType, Status: resp.Status,
+			Body: resp.Body, ArrivedAt: at,
+		})
+		cb(browser.Result{URL: resp.URL, Status: resp.Status, ContentType: resp.ContentType, Body: resp.Body, At: at})
+	})
+}
+
+func (s *ProxySession) onMessage(m simnet.Message) {
+	switch msg := m.Payload.(type) {
+	case pageRequest:
+		s.startPage(msg)
+	case objectRequest:
+		s.serveFallback(msg.URL)
+	case postRequest:
+		s.handlePost(msg)
+	}
+}
+
+// startPage boots the headless engine for the requested URL. On a repeat
+// request within the session (a revisit), the object cache and the mirror of
+// what the client already holds persist, so only new content is pushed.
+func (s *ProxySession) startPage(req pageRequest) {
+	topo := s.proxy.topo
+	cfg := s.proxy.cfg
+	if s.cache == nil {
+		s.cache = make(map[string]sched.Item)
+	}
+	if s.sent == nil {
+		s.sent = make(map[string]bool)
+	}
+	s.onloadSeen = false
+	s.completeSent = false
+	if s.quietTimer != nil {
+		s.quietTimer.Cancel()
+		s.quietTimer = nil
+	}
+	httpClient := httpsim.NewClient(topo.Sim, topo.Proxy, topo.Dir, topo.ProxyResolver, cfg.ConnsPerDomain)
+	httpClient.SetMaxTotalConns(64) // well-provisioned server pool (§4.3)
+	s.fetcher = &proxyFetcher{s: s, client: httpClient}
+	s.bundler = sched.NewBundler(cfg.Sched, s.flush)
+	s.engine = browser.New(topo.Sim, s.fetcher, browser.Options{
+		CPU:         cfg.CPU,
+		FixedRandom: cfg.FixedRandom,
+		Events: browser.Events{
+			OnLoad: func(at time.Duration) {
+				s.onloadSeen = true
+				s.OnloadAt = at
+				s.bundler.OnLoad()
+				s.armQuietTimer()
+			},
+		},
+	})
+	s.engine.Load(req.URL)
+}
+
+// DownloadTimeline returns the proxy-side cumulative download series: bytes
+// collected from origin servers over time (the "PARCEL Proxy Timeline" curve
+// of Figure 6a).
+func (s *ProxySession) DownloadTimeline() []trace.Point {
+	items := make([]sched.Item, 0, len(s.cache))
+	for _, it := range s.cache {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].ArrivedAt < items[j].ArrivedAt })
+	points := make([]trace.Point, 0, len(items))
+	var total int64
+	for _, it := range items {
+		total += int64(len(it.Body))
+		points = append(points, trace.Point{At: it.ArrivedAt, Bytes: total})
+	}
+	return points
+}
+
+// collect records a fetched object, offers it to the schedule, and manages
+// the completion heuristic's inactivity window.
+func (s *ProxySession) collect(it sched.Item) {
+	if s.sent[it.URL] {
+		// Already mirrored at the client (same version): no redundant
+		// transfer (§4.5).
+		s.MirrorHits++
+		s.cache[it.URL] = it
+		if s.onloadSeen && !s.completeSent {
+			s.armQuietTimer()
+		}
+		return
+	}
+	s.cache[it.URL] = it
+	if !s.completeSent {
+		s.bundler.Add(it)
+		if s.onloadSeen {
+			s.armQuietTimer()
+		}
+		return
+	}
+	// Objects arriving after the completion notification (missed by the
+	// heuristic) are pushed individually so the client is never starved.
+	s.sendBundle([]sched.Item{it}, sched.FlushComplete)
+}
+
+func (s *ProxySession) armQuietTimer() {
+	if s.completeSent {
+		return
+	}
+	if s.quietTimer != nil {
+		s.quietTimer.Cancel()
+	}
+	s.quietTimer = s.proxy.topo.Sim.Schedule(s.proxy.cfg.QuietPeriod, s.declareComplete)
+}
+
+// declareComplete fires the §4.5 heuristic: onload has passed and the
+// proxy↔server path has been quiet; drain the schedule and notify the
+// client.
+func (s *ProxySession) declareComplete() {
+	if s.completeSent {
+		return
+	}
+	s.completeSent = true
+	s.CompleteAt = s.proxy.topo.Sim.Now()
+	s.bundler.Complete()
+	note := completeNote{
+		ObjectsPushed: s.ObjectsPushed,
+		BytesPushed:   s.BytesPushed,
+		At:            s.CompleteAt,
+	}
+	s.conn.Send(s.proxy.topo.Proxy, 160, note, labelComplete, nil)
+}
+
+// flush transmits one scheduled bundle to the client.
+func (s *ProxySession) flush(items []sched.Item, reason sched.FlushReason) {
+	s.sendBundle(items, reason)
+}
+
+func (s *ProxySession) sendBundle(items []sched.Item, reason sched.FlushReason) {
+	s.BundlesSent++
+	s.BundleLog = append(s.BundleLog, reason)
+	msg := bundleMsg{Seq: s.BundlesSent, Reason: reason, Parts: items}
+	for _, it := range items {
+		s.ObjectsPushed++
+		s.BytesPushed += int64(len(it.Body))
+		s.sent[it.URL] = true
+	}
+	size := msg.wireSize()
+	if f := s.proxy.cfg.CompressionFactor; f > 0 && f < 1 {
+		size = msg.compressedWireSize(f)
+	}
+	s.conn.Send(s.proxy.topo.Proxy, size, msg, labelBundle, nil)
+}
+
+// serveFallback answers a client fallback request from cache, or fetches the
+// object from the origin if the proxy never saw it (e.g. a URL the client's
+// JS derived differently, §4.5).
+func (s *ProxySession) serveFallback(url string) {
+	s.FallbacksSeen++
+	if it, ok := s.cache[url]; ok {
+		rsp := objectResponse{Item: it}
+		s.conn.Send(s.proxy.topo.Proxy, rsp.wireSize(), rsp, labelBundle, nil)
+		return
+	}
+	s.fetchForFallback(url)
+}
+
+func (s *ProxySession) fetchForFallback(url string) {
+	s.fetcher.client.Do(httpsim.Request{Method: "GET", URL: url}, func(resp httpsim.Response, at time.Duration) {
+		it := sched.Item{URL: resp.URL, ContentType: resp.ContentType, Status: resp.Status, Body: resp.Body, ArrivedAt: at}
+		s.cache[url] = it
+		rsp := objectResponse{Item: it}
+		s.conn.Send(s.proxy.topo.Proxy, rsp.wireSize(), rsp, labelBundle, nil)
+	})
+}

@@ -1,0 +1,129 @@
+// Package cssparse extracts the external object references a stylesheet
+// pulls in: url(...) tokens (background images, fonts) and @import rules.
+// Stylesheet-referenced objects are part of the dependency chains that force
+// extra round trips in a traditional browser (§2.1) and that the PARCEL
+// proxy resolves on its fast path.
+package cssparse
+
+import (
+	"strings"
+
+	"github.com/parcel-go/parcel/internal/htmlparse"
+)
+
+// Ref is a reference found in a stylesheet.
+type Ref struct {
+	URL    string
+	Import bool // true for @import (another stylesheet), false for url() assets
+}
+
+// Refs scans CSS source and returns every external reference resolved
+// against baseURL. Comments are skipped; quoting styles url(x), url('x') and
+// url("x") are handled; data: and fragment references are ignored.
+func Refs(src string, baseURL string) []Ref {
+	var out []Ref
+	s := stripComments(src)
+	i := 0
+	for i < len(s) {
+		if imp, n := matchImport(s[i:]); n > 0 {
+			if u := resolve(baseURL, imp); u != "" {
+				out = append(out, Ref{URL: u, Import: true})
+			}
+			i += n
+			continue
+		}
+		if raw, n := matchURL(s[i:]); n > 0 {
+			if u := resolve(baseURL, raw); u != "" {
+				out = append(out, Ref{URL: u})
+			}
+			i += n
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// AssetURLs returns just the non-import reference URLs.
+func AssetURLs(src, baseURL string) []string {
+	var out []string
+	for _, r := range Refs(src, baseURL) {
+		if !r.Import {
+			out = append(out, r.URL)
+		}
+	}
+	return out
+}
+
+func stripComments(s string) string {
+	var b strings.Builder
+	for {
+		start := strings.Index(s, "/*")
+		if start < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		b.WriteString(s[:start])
+		end := strings.Index(s[start+2:], "*/")
+		if end < 0 {
+			return b.String()
+		}
+		s = s[start+2+end+2:]
+	}
+}
+
+// matchImport matches a leading `@import "x"` or `@import url(x)` and
+// returns the referenced URL and the matched length (0 if no match).
+func matchImport(s string) (url string, n int) {
+	const kw = "@import"
+	if !strings.HasPrefix(s, kw) {
+		return "", 0
+	}
+	i := len(kw)
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n') {
+		i++
+	}
+	if i >= len(s) {
+		return "", 0
+	}
+	if strings.HasPrefix(s[i:], "url(") {
+		raw, m := matchURL(s[i:])
+		return raw, i + m
+	}
+	if s[i] == '"' || s[i] == '\'' {
+		quote := s[i]
+		i++
+		start := i
+		for i < len(s) && s[i] != quote {
+			i++
+		}
+		if i >= len(s) {
+			return "", 0
+		}
+		return s[start:i], i + 1
+	}
+	return "", 0
+}
+
+// matchURL matches a leading `url(...)` and returns the unquoted content and
+// matched length (0 if no match).
+func matchURL(s string) (url string, n int) {
+	if !strings.HasPrefix(s, "url(") {
+		return "", 0
+	}
+	i := len("url(")
+	end := strings.IndexByte(s[i:], ')')
+	if end < 0 {
+		return "", 0
+	}
+	inner := strings.TrimSpace(s[i : i+end])
+	inner = strings.Trim(inner, `"'`)
+	return inner, i + end + 1
+}
+
+func resolve(base, ref string) string {
+	if strings.HasPrefix(ref, "data:") {
+		return ""
+	}
+	return htmlparse.ResolveURL(base, ref)
+}

@@ -1,0 +1,96 @@
+package cssparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestURLForms(t *testing.T) {
+	css := `
+body { background: url(bg1.png); }
+.a { background-image: url('bg2.png'); }
+.b { background-image: url("http://cdn.x.com/bg3.png"); }
+@font-face { src: url( /fonts/f.woff ); }
+`
+	got := AssetURLs(css, "http://www.x.com/css/main.css")
+	want := []string{
+		"http://www.x.com/css/bg1.png",
+		"http://www.x.com/css/bg2.png",
+		"http://cdn.x.com/bg3.png",
+		"http://www.x.com/fonts/f.woff",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestImports(t *testing.T) {
+	css := `@import "reset.css";
+@import url(theme.css);
+body { color: red; }`
+	refs := Refs(css, "http://x.com/css/a.css")
+	if len(refs) != 2 {
+		t.Fatalf("refs = %+v", refs)
+	}
+	for _, r := range refs {
+		if !r.Import {
+			t.Fatalf("non-import ref: %+v", r)
+		}
+	}
+	if refs[0].URL != "http://x.com/css/reset.css" || refs[1].URL != "http://x.com/css/theme.css" {
+		t.Fatalf("refs = %+v", refs)
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	css := `/* url(ghost.png) */ .x { background: url(real.png); }`
+	got := AssetURLs(css, "http://x.com/")
+	if len(got) != 1 || got[0] != "http://x.com/real.png" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDataURIIgnored(t *testing.T) {
+	css := `.x { background: url(data:image/png;base64,AAAA); }`
+	if got := AssetURLs(css, "http://x.com/"); len(got) != 0 {
+		t.Fatalf("data URI not ignored: %v", got)
+	}
+}
+
+func TestEmptyAndNoRefs(t *testing.T) {
+	if got := Refs("", "http://x.com/"); got != nil {
+		t.Fatalf("empty css: %v", got)
+	}
+	if got := Refs("body { color: blue }", "http://x.com/"); got != nil {
+		t.Fatalf("plain css: %v", got)
+	}
+}
+
+func TestUnterminatedURLTolerated(t *testing.T) {
+	// Must not panic or loop forever.
+	_ = Refs(".x { background: url(broken", "http://x.com/")
+	_ = Refs("/* unterminated comment", "http://x.com/")
+	_ = Refs(`@import "unterminated`, "http://x.com/")
+}
+
+func TestMixedContent(t *testing.T) {
+	css := `@import url(base.css);
+.hero { background: url("hero.jpg") no-repeat; }
+/* decorative: url(skip.png) */
+.icon { background: url(icons/sprite.png) -10px 0; }`
+	refs := Refs(css, "http://site.com/styles/app.css")
+	if len(refs) != 3 {
+		t.Fatalf("refs = %+v", refs)
+	}
+	imports, assets := 0, 0
+	for _, r := range refs {
+		if r.Import {
+			imports++
+		} else {
+			assets++
+		}
+	}
+	if imports != 1 || assets != 2 {
+		t.Fatalf("imports=%d assets=%d", imports, assets)
+	}
+}

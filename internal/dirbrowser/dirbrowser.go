@@ -1,0 +1,128 @@
+// Package dirbrowser is the DIR baseline (§7.1): a traditional mobile
+// browser that performs object identification on the device and fetches
+// every object itself over the cellular link with per-object HTTP
+// request–response interactions, DNS lookups per domain, and up to six
+// persistent connections per domain — the download pattern of Figure 5a
+// whose round trips and short transfers PARCEL eliminates.
+package dirbrowser
+
+import (
+	"time"
+
+	"github.com/parcel-go/parcel/internal/browser"
+	"github.com/parcel-go/parcel/internal/httpsim"
+	"github.com/parcel-go/parcel/internal/metrics"
+	"github.com/parcel-go/parcel/internal/radio"
+	"github.com/parcel-go/parcel/internal/scenario"
+)
+
+// Options tune the baseline.
+type Options struct {
+	// ConnsPerDomain is the parallel-connection cap (default 6, §8.1).
+	ConnsPerDomain int
+	// MaxTotalConns caps parallel connections across all domains, the way
+	// 2014-era mobile engines pooled connections (default 17; 0 keeps the
+	// default, -1 removes the cap).
+	MaxTotalConns int
+	// RequestIssueCost is the client CPU spent dispatching each HTTP
+	// request (URL canonicalization, cache lookup, socket bookkeeping);
+	// requests issue serially on the device (default 2 ms).
+	RequestIssueCost time.Duration
+	// CPU defaults to the mobile profile.
+	CPU browser.CPUModel
+	// FixedRandom applies the §7.3 replay rewrite.
+	FixedRandom bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CPU == (browser.CPUModel{}) {
+		o.CPU = browser.MobileCPU()
+	}
+	if o.MaxTotalConns == 0 {
+		o.MaxTotalConns = 17
+	}
+	if o.MaxTotalConns < 0 {
+		o.MaxTotalConns = 0
+	}
+	if o.RequestIssueCost == 0 {
+		o.RequestIssueCost = 3 * time.Millisecond
+	}
+	return o
+}
+
+// Browser is one DIR page-load session.
+type Browser struct {
+	Engine *browser.Engine
+	Client *httpsim.Client
+	topo   *scenario.Topology
+}
+
+// fetcher adapts the cellular HTTP client to the engine, serializing request
+// dispatch on the device (issueBusy models the network-stack portion of the
+// main thread).
+type fetcher struct {
+	topo      *scenario.Topology
+	c         *httpsim.Client
+	issueCost time.Duration
+	issueBusy time.Duration
+}
+
+func (f *fetcher) Fetch(url string, cb func(browser.Result)) {
+	do := func() {
+		f.c.Do(httpsim.Request{Method: "GET", URL: url}, func(resp httpsim.Response, at time.Duration) {
+			cb(browser.Result{
+				URL: resp.URL, Status: resp.Status, ContentType: resp.ContentType,
+				Body: resp.Body, At: at,
+			})
+		})
+	}
+	if f.issueCost <= 0 {
+		do()
+		return
+	}
+	sim := f.topo.Sim
+	start := sim.Now()
+	if start < f.issueBusy {
+		start = f.issueBusy
+	}
+	start += f.issueCost
+	f.issueBusy = start
+	sim.ScheduleAt(start, do)
+}
+
+// New prepares a DIR browser on the topology.
+func New(topo *scenario.Topology, opt Options) *Browser {
+	opt = opt.withDefaults()
+	client := httpsim.NewClient(topo.Sim, topo.Client, topo.Dir, topo.ClientResolver, opt.ConnsPerDomain)
+	client.SetMaxTotalConns(opt.MaxTotalConns)
+	engine := browser.New(topo.Sim, &fetcher{topo: topo, c: client, issueCost: opt.RequestIssueCost}, browser.Options{
+		CPU:         opt.CPU,
+		FixedRandom: opt.FixedRandom,
+	})
+	return &Browser{Engine: engine, Client: client, topo: topo}
+}
+
+// Load runs the full page download to quiescence and returns the metrics.
+func (b *Browser) Load() metrics.PageRun {
+	b.Engine.Load(b.topo.Page.MainURL)
+	b.topo.Sim.Run()
+	return b.Collect()
+}
+
+// Collect assembles metrics for the session so far (callable after
+// interactions too).
+func (b *Browser) Collect() metrics.PageRun {
+	run := metrics.PageRun{Scheme: "DIR", Page: b.topo.Page.Name}
+	onload, _ := b.Engine.OnloadNetAt()
+	metrics.FromTrace(&run, b.topo.ClientTrace, onload, radio.DefaultLTE(), nil)
+	run.CPUActive = b.Engine.CPUActive()
+	run.HTTPRequests = b.Client.RequestsSent
+	run.ConnsOpened = b.Client.ConnsOpened
+	run.ObjectsLoaded = b.Engine.NumRequested()
+	return run
+}
+
+// Run builds, loads and measures a page in one call.
+func Run(topo *scenario.Topology, opt Options) metrics.PageRun {
+	return New(topo, opt).Load()
+}

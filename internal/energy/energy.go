@@ -1,0 +1,36 @@
+// Package energy accounts total device energy the way the paper's power-
+// meter experiment does (§8.2): radio energy from the RRC simulation plus
+// CPU energy from modelled processing time, with the screen baseline
+// excluded (the paper measures it separately and deducts it).
+package energy
+
+import "time"
+
+// DeviceParams models the non-radio device power profile.
+type DeviceParams struct {
+	// CPUActivePower is the device power draw attributable to active
+	// processing (parsing, JS execution, rendering), in mW.
+	CPUActivePower float64
+	// ScreenPower is the display baseline in mW; reported for reference but
+	// excluded from totals, as in the paper ("the baseline screen power
+	// (626mW) was measured and deducted").
+	ScreenPower float64
+}
+
+// DefaultDevice returns a Galaxy-S3-class profile.
+func DefaultDevice() DeviceParams {
+	return DeviceParams{
+		CPUActivePower: 1000,
+		ScreenPower:    626,
+	}
+}
+
+// CPUEnergy returns the joules consumed by cpuActive of processing.
+func (p DeviceParams) CPUEnergy(cpuActive time.Duration) float64 {
+	return p.CPUActivePower / 1000 * cpuActive.Seconds()
+}
+
+// Total returns radio + CPU energy in joules (screen excluded).
+func (p DeviceParams) Total(radioJ float64, cpuActive time.Duration) float64 {
+	return radioJ + p.CPUEnergy(cpuActive)
+}

@@ -1,0 +1,38 @@
+package energy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCPUEnergy(t *testing.T) {
+	p := DeviceParams{CPUActivePower: 1000}
+	if got := p.CPUEnergy(2 * time.Second); got != 2 {
+		t.Fatalf("CPUEnergy = %v, want 2 J", got)
+	}
+	if got := p.CPUEnergy(0); got != 0 {
+		t.Fatalf("CPUEnergy(0) = %v", got)
+	}
+}
+
+func TestTotalAddsRadioAndCPU(t *testing.T) {
+	p := DefaultDevice()
+	total := p.Total(5, time.Second)
+	if total <= 5 {
+		t.Fatalf("Total = %v, want > radio alone", total)
+	}
+	if total != 5+p.CPUEnergy(time.Second) {
+		t.Fatalf("Total = %v inconsistent", total)
+	}
+}
+
+func TestScreenExcluded(t *testing.T) {
+	p := DefaultDevice()
+	if p.ScreenPower <= 0 {
+		t.Fatal("screen power missing")
+	}
+	// Totals must not include the screen baseline.
+	if p.Total(0, 0) != 0 {
+		t.Fatalf("Total(0,0) = %v, want 0", p.Total(0, 0))
+	}
+}

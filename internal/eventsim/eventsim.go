@@ -1,0 +1,168 @@
+// Package eventsim provides the discrete-event simulation core used by all
+// PARCEL simulation substrates: a virtual clock, a deterministic event queue,
+// and a seedable random source.
+//
+// Virtual time is represented as time.Duration since the start of the
+// simulation. Events scheduled for the same instant fire in the order they
+// were scheduled, which makes every simulation run bit-for-bit deterministic
+// for a fixed seed.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 when not queued
+	cancel bool
+}
+
+// At returns the virtual time the event is scheduled to fire.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was cancelled) is a no-op.
+func (e *Event) Cancel() {
+	e.cancel = true
+	e.fn = nil
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending-event queue.
+// The zero value is not usable; construct with New.
+type Simulator struct {
+	now    time.Duration
+	queue  eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	inStep bool
+}
+
+// New returns a simulator whose clock starts at zero and whose random source
+// is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run after delay of virtual time. A negative delay is
+// treated as zero (the event fires at the current instant, after any events
+// already scheduled for that instant).
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time t. Scheduling in the
+// past panics: it indicates a logic error in the caller, and silently
+// reordering events would break causality.
+func (s *Simulator) ScheduleAt(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("eventsim: ScheduleAt(%v) is before now (%v)", t, s.now))
+	}
+	if fn == nil {
+		panic("eventsim: nil event function")
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// scheduled time. It returns false when no events remain.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		fn := e.fn
+		e.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with scheduled time <= t, then advances the clock
+// to exactly t.
+func (s *Simulator) RunUntil(t time.Duration) {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now + d) }

@@ -1,0 +1,193 @@
+package eventsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired || s.Now() != 0 {
+		t.Fatalf("negative delay: fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	s.ScheduleAt(500*time.Millisecond, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event fn did not panic")
+		}
+	}()
+	s.Schedule(0, nil)
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.Schedule(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromInsideEarlierEvent(t *testing.T) {
+	s := New(1)
+	fired := false
+	later := s.Schedule(2*time.Millisecond, func() { fired = true })
+	s.Schedule(time.Millisecond, func() { later.Cancel() })
+	s.Run()
+	if fired {
+		t.Fatal("event fired despite cancellation by earlier event")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var times []time.Duration
+	s.Schedule(time.Millisecond, func() {
+		times = append(times, s.Now())
+		s.Schedule(time.Millisecond, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != time.Millisecond || times[1] != 2*time.Millisecond {
+		t.Fatalf("nested times = %v", times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []int
+	s.Schedule(time.Millisecond, func() { fired = append(fired, 1) })
+	s.Schedule(3*time.Millisecond, func() { fired = append(fired, 3) })
+	s.RunUntil(2 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Fatalf("Now = %v, want 2ms", s.Now())
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Fatalf("remaining event did not fire")
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New(1)
+	s.Schedule(5*time.Millisecond, func() {})
+	s.RunFor(3 * time.Millisecond)
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("Now = %v, want 3ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different random streams")
+		}
+	}
+}
+
+func TestFiredCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5", s.Fired())
+	}
+}
+
+// Property: for any batch of random delays, events fire in nondecreasing
+// time order and the clock never goes backwards.
+func TestClockMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		s := New(int64(trial))
+		var last time.Duration
+		ok := true
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			s.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		if !ok {
+			t.Fatal("clock went backwards")
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(1)
+		for j := 0; j < 1000; j++ {
+			s.Schedule(time.Duration(j%100)*time.Millisecond, func() {})
+		}
+		s.Run()
+	}
+}

@@ -1,0 +1,135 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§8): it builds topologies, runs the schemes over the page set,
+// repeats runs the way the paper's rounds do (§7.2), and reduces the results
+// to the series each figure plots. cmd/parcel-bench renders them.
+package experiments
+
+import (
+	"time"
+
+	"github.com/parcel-go/parcel/internal/core"
+	"github.com/parcel-go/parcel/internal/dirbrowser"
+	"github.com/parcel-go/parcel/internal/metrics"
+	"github.com/parcel-go/parcel/internal/scenario"
+	"github.com/parcel-go/parcel/internal/sched"
+	"github.com/parcel-go/parcel/internal/stats"
+	"github.com/parcel-go/parcel/internal/webgen"
+)
+
+// Config holds the experiment-wide knobs.
+type Config struct {
+	// Seed controls page generation and network jitter.
+	Seed int64
+	// Pages is the evaluation set size (default 34, §7.2).
+	Pages int
+	// Runs is the number of measurement rounds per page/scheme; the paper
+	// uses 20–40 LTE rounds to beat radio variability, we default to 5
+	// (the simulator varies only by jitter seed).
+	Runs int
+	// Jitter adds per-packet LTE delay noise across runs.
+	Jitter time.Duration
+	// Scenario overrides the topology defaults (zero value = defaults).
+	Scenario scenario.Params
+}
+
+// DefaultConfig returns the standard evaluation configuration.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Pages: 34, Runs: 5, Jitter: 2 * time.Millisecond}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pages == 0 {
+		c.Pages = 34
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	if c.Scenario.LTERTT == 0 {
+		c.Scenario = scenario.DefaultParams()
+	}
+	if c.Jitter > 0 {
+		c.Scenario.LTEJitter = c.Jitter
+	}
+	return c
+}
+
+// PageSet generates the evaluation pages for a config.
+func (c Config) PageSet() []webgen.Page {
+	c = c.withDefaults()
+	return webgen.Generate(webgen.Spec{Seed: c.Seed, NumPages: c.Pages})
+}
+
+// Scheme identifies a comparison arm.
+type Scheme struct {
+	// Name is the display label ("DIR", "PARCEL(IND)", ...).
+	Name string
+	// Sched is the PARCEL schedule; ignored when DIR is true.
+	Sched sched.Config
+	// DIR marks the traditional-browser baseline.
+	DIR bool
+}
+
+// DIRScheme is the traditional mobile browser arm.
+var DIRScheme = Scheme{Name: "DIR", DIR: true}
+
+// ParcelScheme returns a PARCEL arm with the given schedule.
+func ParcelScheme(cfg sched.Config) Scheme { return Scheme{Name: cfg.String(), Sched: cfg} }
+
+// RunOnce loads one page with one scheme on a fresh topology and returns the
+// run metrics. seed perturbs the topology (jitter draw), mirroring the
+// paper's per-round variability.
+func RunOnce(page webgen.Page, s Scheme, cfg Config, seed int64) metrics.PageRun {
+	cfg = cfg.withDefaults()
+	params := cfg.Scenario
+	params.Seed = seed
+	topo := scenario.Build(page, params)
+	if s.DIR {
+		return dirbrowser.Run(topo, dirbrowser.Options{FixedRandom: true})
+	}
+	pc := core.DefaultProxyConfig()
+	pc.Sched = s.Sched
+	return core.Run(topo, pc, core.DefaultClientConfig())
+}
+
+// MedianRun loads a page cfg.Runs times with different jitter seeds and
+// returns the per-metric medians (the paper's median-of-rounds reduction,
+// §7.1), along with one representative run for trace-level detail.
+func MedianRun(page webgen.Page, s Scheme, cfg Config) metrics.PageRun {
+	cfg = cfg.withDefaults()
+	var olts, tlts, radios []float64
+	var rep metrics.PageRun
+	for r := 0; r < cfg.Runs; r++ {
+		run := RunOnce(page, s, cfg, cfg.Seed+int64(r)*7919)
+		if r == 0 {
+			rep = run
+		}
+		olts = append(olts, run.OLT.Seconds())
+		tlts = append(tlts, run.TLT.Seconds())
+		radios = append(radios, run.RadioJ)
+	}
+	rep.OLT = time.Duration(stats.Median(olts) * float64(time.Second))
+	rep.TLT = time.Duration(stats.Median(tlts) * float64(time.Second))
+	rep.RadioJ = stats.Median(radios)
+	return rep
+}
+
+// PageResult couples a page with its per-scheme median runs.
+type PageResult struct {
+	Page webgen.Page
+	Runs map[string]metrics.PageRun // keyed by scheme name
+}
+
+// Sweep runs every scheme over every page.
+func Sweep(cfg Config, schemes []Scheme) []PageResult {
+	cfg = cfg.withDefaults()
+	pages := cfg.PageSet()
+	out := make([]PageResult, 0, len(pages))
+	for _, page := range pages {
+		pr := PageResult{Page: page, Runs: make(map[string]metrics.PageRun, len(schemes))}
+		for _, s := range schemes {
+			pr.Runs[s.Name] = MedianRun(page, s, cfg)
+		}
+		out = append(out, pr)
+	}
+	return out
+}

@@ -1,0 +1,481 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/parcel-go/parcel/internal/browser"
+	"github.com/parcel-go/parcel/internal/core"
+	"github.com/parcel-go/parcel/internal/dirbrowser"
+	"github.com/parcel-go/parcel/internal/radio"
+	"github.com/parcel-go/parcel/internal/scenario"
+	"github.com/parcel-go/parcel/internal/sched"
+	"github.com/parcel-go/parcel/internal/spdybrowser"
+	"github.com/parcel-go/parcel/internal/stats"
+	"github.com/parcel-go/parcel/internal/trace"
+	"github.com/parcel-go/parcel/internal/webgen"
+)
+
+// --- Figure 3: median OLT, cellular vs wired ------------------------------
+
+// Fig3Result carries the two OLT distributions of Figure 3.
+type Fig3Result struct {
+	CellularOLT []float64 // seconds, one per page (median of runs)
+	WiredOLT    []float64
+}
+
+// Fig3 downloads the page set with the traditional browser over the LTE
+// access (mobile device) and over a wire-line access (desktop-class client),
+// the §2.3 motivation comparison.
+func Fig3(cfg Config) Fig3Result {
+	cfg = cfg.withDefaults()
+	var out Fig3Result
+	for _, page := range cfg.PageSet() {
+		cell := MedianRun(page, DIRScheme, cfg)
+		out.CellularOLT = append(out.CellularOLT, cell.OLT.Seconds())
+
+		params := cfg.Scenario
+		params.Wired = true
+		params.Seed = cfg.Seed
+		topo := scenario.Build(page, params)
+		wired := dirbrowser.Run(topo, dirbrowser.Options{
+			FixedRandom:      true,
+			CPU:              browser.DesktopCPU(),
+			RequestIssueCost: time.Millisecond,
+			MaxTotalConns:    35, // desktop-class pool
+		})
+		out.WiredOLT = append(out.WiredOLT, wired.OLT.Seconds())
+	}
+	return out
+}
+
+// --- Figure 5: download patterns ------------------------------------------
+
+// Fig5Series is a client-side cumulative download timeline for one scheme.
+type Fig5Series struct {
+	Scheme  string
+	Points  []trace.Point
+	Bundles int
+}
+
+// Fig5Result shows the transfer patterns of DIR and the PARCEL schedules on
+// one representative page.
+type Fig5Result struct {
+	Page   string
+	Series []Fig5Series
+}
+
+// Fig5 reproduces the Figure 5 download-pattern comparison.
+func Fig5(cfg Config, pageIndex int) Fig5Result {
+	cfg = cfg.withDefaults()
+	pages := cfg.PageSet()
+	page := pages[pageIndex%len(pages)]
+	out := Fig5Result{Page: page.Name}
+
+	params := cfg.Scenario
+	params.Seed = cfg.Seed
+
+	dTopo := scenario.Build(page, params)
+	dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
+	out.Series = append(out.Series, Fig5Series{
+		Scheme: "DIR", Points: dTopo.ClientTrace.CumulativeBytes(trace.Down),
+	})
+
+	for _, sc := range []sched.Config{sched.ConfigIND, sched.ConfigONLD, sched.Config512K} {
+		topo := scenario.Build(page, params)
+		pc := core.DefaultProxyConfig()
+		pc.Sched = sc
+		proxy := core.StartProxy(topo, pc)
+		core.NewClient(topo, core.DefaultClientConfig()).Load()
+		out.Series = append(out.Series, Fig5Series{
+			Scheme:  sc.String(),
+			Points:  topo.ClientTrace.CumulativeBytes(trace.Down),
+			Bundles: proxy.Sessions[0].BundlesSent,
+		})
+	}
+	return out
+}
+
+// --- Figure 6a: per-page timeline ------------------------------------------
+
+// Fig6aResult is the taobao-style timeline: cumulative bytes at the PARCEL
+// proxy, the PARCEL client, and the DIR client, with their OLT marks.
+type Fig6aResult struct {
+	Page            string
+	ProxySeries     []trace.Point
+	ParcelSeries    []trace.Point
+	DIRSeries       []trace.Point
+	ProxyOnload     time.Duration
+	ParcelClientOLT time.Duration
+	DIRClientOLT    time.Duration
+}
+
+// Fig6a loads the largest page of the set with PARCEL and DIR and records
+// the three download timelines of Figure 6a.
+func Fig6a(cfg Config) Fig6aResult {
+	cfg = cfg.withDefaults()
+	pages := cfg.PageSet()
+	page := pages[0]
+	for _, p := range pages {
+		if p.TotalBytes > page.TotalBytes {
+			page = p
+		}
+	}
+	out := Fig6aResult{Page: page.Name}
+	params := cfg.Scenario
+	params.Seed = cfg.Seed
+
+	dTopo := scenario.Build(page, params)
+	dRun := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
+	out.DIRSeries = dTopo.ClientTrace.CumulativeBytes(trace.Down)
+	out.DIRClientOLT = dRun.OLT
+
+	pTopo := scenario.Build(page, params)
+	// Record the proxy-side download timeline via ObjectLoaded counting at
+	// the proxy session.
+	proxy := core.StartProxy(pTopo, core.DefaultProxyConfig())
+	client := core.NewClient(pTopo, core.DefaultClientConfig())
+	pRun := client.Load()
+	out.ParcelSeries = pTopo.ClientTrace.CumulativeBytes(trace.Down)
+	out.ParcelClientOLT = pRun.OLT
+	sess := proxy.Sessions[0]
+	out.ProxyOnload = sess.OnloadAt
+	out.ProxySeries = sess.DownloadTimeline()
+	return out
+}
+
+// --- Figure 6b: latency CDFs ------------------------------------------------
+
+// Fig6bResult holds per-page median latencies for PARCEL(IND) and DIR.
+type Fig6bResult struct {
+	ParcelOLT, ParcelTLT []float64 // seconds
+	DIROLT, DIRTLT       []float64
+}
+
+// Fig6b sweeps the page set with PARCEL(IND) and DIR.
+func Fig6b(cfg Config) Fig6bResult {
+	cfg = cfg.withDefaults()
+	var out Fig6bResult
+	for _, pr := range Sweep(cfg, []Scheme{DIRScheme, ParcelScheme(sched.ConfigIND)}) {
+		d := pr.Runs["DIR"]
+		p := pr.Runs["PARCEL(IND)"]
+		out.DIROLT = append(out.DIROLT, d.OLT.Seconds())
+		out.DIRTLT = append(out.DIRTLT, d.TLT.Seconds())
+		out.ParcelOLT = append(out.ParcelOLT, p.OLT.Seconds())
+		out.ParcelTLT = append(out.ParcelTLT, p.TLT.Seconds())
+	}
+	return out
+}
+
+// --- Figure 6c: latency reduction vs request count --------------------------
+
+// Fig6cPoint is one page's scatter point.
+type Fig6cPoint struct {
+	Page         string
+	HTTPRequests int     // client HTTP requests under DIR
+	ReductionSec float64 // DIR TLT − PARCEL TLT (median)
+}
+
+// Fig6cResult is the scatter plus its Pearson correlation (paper: 0.83).
+type Fig6cResult struct {
+	Points      []Fig6cPoint
+	Correlation float64
+}
+
+// Fig6c correlates total-latency reduction with the number of HTTP requests.
+func Fig6c(cfg Config) Fig6cResult {
+	cfg = cfg.withDefaults()
+	var out Fig6cResult
+	var xs, ys []float64
+	for _, pr := range Sweep(cfg, []Scheme{DIRScheme, ParcelScheme(sched.ConfigIND)}) {
+		d := pr.Runs["DIR"]
+		p := pr.Runs["PARCEL(IND)"]
+		pt := Fig6cPoint{
+			Page:         pr.Page.Name,
+			HTTPRequests: d.HTTPRequests,
+			ReductionSec: d.TLT.Seconds() - p.TLT.Seconds(),
+		}
+		out.Points = append(out.Points, pt)
+		xs = append(xs, float64(pt.HTTPRequests))
+		ys = append(ys, pt.ReductionSec)
+	}
+	out.Correlation = stats.Pearson(xs, ys)
+	return out
+}
+
+// --- Figure 7a: RRC states over time ----------------------------------------
+
+// Fig7aResult compares RRC occupancy for one page (the ebay-style example:
+// DIR 22 transitions / 11.16 J vs PARCEL 7 transitions / 5.63 J).
+type Fig7aResult struct {
+	Page              string
+	DIRIntervals      []radio.Interval
+	ParcelIntervals   []radio.Interval
+	DIRTransitions    int
+	ParcelTransitions int
+	DIREnergy         float64
+	ParcelEnergy      float64
+	DIROnload         time.Duration
+	ParcelOnload      time.Duration
+}
+
+// Fig7a runs the interactive (ebay-style) page under both schemes.
+func Fig7a(cfg Config) Fig7aResult {
+	cfg = cfg.withDefaults()
+	page := webgen.InteractivePage(cfg.PageSet())
+	params := cfg.Scenario
+	params.Seed = cfg.Seed
+
+	dTopo := scenario.Build(page, params)
+	dRun := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
+
+	pTopo := scenario.Build(page, params)
+	pRun := core.Run(pTopo, core.DefaultProxyConfig(), core.DefaultClientConfig())
+
+	return Fig7aResult{
+		Page:              page.Name,
+		DIRIntervals:      dRun.Radio.Intervals,
+		ParcelIntervals:   pRun.Radio.Intervals,
+		DIRTransitions:    dRun.Radio.Transitions,
+		ParcelTransitions: pRun.Radio.Transitions,
+		DIREnergy:         dRun.RadioJ,
+		ParcelEnergy:      pRun.RadioJ,
+		DIROnload:         dRun.OLT,
+		ParcelOnload:      pRun.OLT,
+	}
+}
+
+// --- Figure 7b/7c: radio energy CDF and savings -----------------------------
+
+// Fig7bcResult carries the per-page radio energies and derived savings.
+type Fig7bcResult struct {
+	Pages         []string
+	ParcelEnergy  []float64 // joules
+	DIREnergy     []float64
+	TotalSavings  []float64 // fraction of DIR energy saved
+	CRSavingShare []float64 // share of the saving attributable to CR
+}
+
+// Fig7bc sweeps the set and reduces to the Figure 7b CDF and the Figure 7c
+// per-page savings decomposition.
+func Fig7bc(cfg Config) Fig7bcResult {
+	cfg = cfg.withDefaults()
+	var out Fig7bcResult
+	for _, pr := range Sweep(cfg, []Scheme{DIRScheme, ParcelScheme(sched.ConfigIND)}) {
+		d := pr.Runs["DIR"]
+		p := pr.Runs["PARCEL(IND)"]
+		out.Pages = append(out.Pages, pr.Page.Name)
+		out.DIREnergy = append(out.DIREnergy, d.RadioJ)
+		out.ParcelEnergy = append(out.ParcelEnergy, p.RadioJ)
+		saving := d.RadioJ - p.RadioJ
+		frac := 0.0
+		if d.RadioJ > 0 {
+			frac = saving / d.RadioJ
+		}
+		out.TotalSavings = append(out.TotalSavings, frac)
+		crSave := d.Radio.EnergyByState[radio.CR] - p.Radio.EnergyByState[radio.CR]
+		share := 0.0
+		if saving > 0 {
+			share = crSave / saving
+			if share > 1 {
+				share = 1
+			}
+			if share < 0 {
+				share = 0
+			}
+		}
+		out.CRSavingShare = append(out.CRSavingShare, share)
+	}
+	return out
+}
+
+// --- Figure 9: bundling variants ---------------------------------------------
+
+// Fig9Result holds, per page, the OLT and radio-energy increases of each
+// bundling variant relative to PARCEL(IND), plus page sizes for Figure 9c.
+type Fig9Result struct {
+	Variants       []string
+	OLTIncrease    map[string][]float64 // seconds, per page
+	EnergyIncrease map[string][]float64 // joules, per page
+	PageBytes      []float64
+}
+
+// Fig9 compares PARCEL(512K/1M/2M/ONLD) against PARCEL(IND) (§8.3).
+func Fig9(cfg Config) Fig9Result {
+	cfg = cfg.withDefaults()
+	variants := []sched.Config{sched.Config512K, sched.Config1M, sched.Config2M, sched.ConfigONLD}
+	schemes := []Scheme{ParcelScheme(sched.ConfigIND)}
+	out := Fig9Result{
+		OLTIncrease:    make(map[string][]float64),
+		EnergyIncrease: make(map[string][]float64),
+	}
+	for _, v := range variants {
+		out.Variants = append(out.Variants, v.String())
+		schemes = append(schemes, ParcelScheme(v))
+	}
+	for _, pr := range Sweep(cfg, schemes) {
+		base := pr.Runs["PARCEL(IND)"]
+		out.PageBytes = append(out.PageBytes, float64(pr.Page.TotalBytes))
+		for _, v := range out.Variants {
+			run := pr.Runs[v]
+			out.OLTIncrease[v] = append(out.OLTIncrease[v], run.OLT.Seconds()-base.OLT.Seconds())
+			out.EnergyIncrease[v] = append(out.EnergyIncrease[v], run.RadioJ-base.RadioJ)
+		}
+	}
+	return out
+}
+
+// --- Figures 10/11: real web servers -----------------------------------------
+
+// Fig1011Result compares PARCEL(512K) and DIR with heterogeneous per-domain
+// origin delays (§8.4).
+type Fig1011Result struct {
+	ParcelOLT, DIROLT       []float64
+	ParcelEnergy, DIREnergy []float64
+}
+
+// Fig1011 runs the real-servers setting.
+func Fig1011(cfg Config) Fig1011Result {
+	cfg = cfg.withDefaults()
+	cfg.Scenario.HeterogeneousOrigins = true
+	var out Fig1011Result
+	for _, pr := range Sweep(cfg, []Scheme{DIRScheme, ParcelScheme(sched.Config512K)}) {
+		d := pr.Runs["DIR"]
+		p := pr.Runs["PARCEL(512K)"]
+		out.DIROLT = append(out.DIROLT, d.OLT.Seconds())
+		out.ParcelOLT = append(out.ParcelOLT, p.OLT.Seconds())
+		out.DIREnergy = append(out.DIREnergy, d.RadioJ)
+		out.ParcelEnergy = append(out.ParcelEnergy, p.RadioJ)
+	}
+	return out
+}
+
+// --- §8.3 delay sensitivity ---------------------------------------------------
+
+// DelaySensResult compares IND and ONLD under two proxy↔server RTTs.
+type DelaySensResult struct {
+	RTTs []time.Duration
+	// Keyed by RTT string then scheme name: median OLT (s), median energy (J).
+	MedianOLT    map[string]map[string]float64
+	MedianEnergy map[string]map[string]float64
+}
+
+// DelaySensitivity runs the §8.3 sensitivity study (20 ms vs 60 ms).
+func DelaySensitivity(cfg Config) DelaySensResult {
+	cfg = cfg.withDefaults()
+	out := DelaySensResult{
+		RTTs:         []time.Duration{20 * time.Millisecond, 60 * time.Millisecond},
+		MedianOLT:    make(map[string]map[string]float64),
+		MedianEnergy: make(map[string]map[string]float64),
+	}
+	schemes := []Scheme{ParcelScheme(sched.ConfigIND), ParcelScheme(sched.ConfigONLD)}
+	for _, rtt := range out.RTTs {
+		c := cfg
+		c.Scenario.ProxyOriginRTT = rtt
+		olts := map[string][]float64{}
+		energies := map[string][]float64{}
+		for _, pr := range Sweep(c, schemes) {
+			for _, s := range schemes {
+				run := pr.Runs[s.Name]
+				olts[s.Name] = append(olts[s.Name], run.OLT.Seconds())
+				energies[s.Name] = append(energies[s.Name], run.RadioJ)
+			}
+		}
+		key := rtt.String()
+		out.MedianOLT[key] = map[string]float64{}
+		out.MedianEnergy[key] = map[string]float64{}
+		for _, s := range schemes {
+			out.MedianOLT[key][s.Name] = stats.Median(olts[s.Name])
+			out.MedianEnergy[key][s.Name] = stats.Median(energies[s.Name])
+		}
+	}
+	return out
+}
+
+// --- Headline summary -----------------------------------------------------------
+
+// Summary is the paper's abstract-level result: median OLT and radio-energy
+// reductions of PARCEL(IND) vs DIR.
+type Summary struct {
+	DIRMedianOLT, ParcelMedianOLT       float64 // seconds
+	DIRMedianEnergy, ParcelMedianEnergy float64 // joules
+	OLTReduction, EnergyReduction       float64 // fractions
+	PaperOLTReduction                   float64
+	PaperEnergyReduction                float64
+}
+
+// Headline computes the abstract numbers (paper: 49.6% and 65%).
+func Headline(cfg Config) Summary {
+	r := Fig6bAndEnergy(cfg)
+	s := Summary{
+		DIRMedianOLT:         stats.Median(r.DIROLT),
+		ParcelMedianOLT:      stats.Median(r.ParcelOLT),
+		DIRMedianEnergy:      stats.Median(r.DIREnergy),
+		ParcelMedianEnergy:   stats.Median(r.ParcelEnergy),
+		PaperOLTReduction:    0.496,
+		PaperEnergyReduction: 0.65,
+	}
+	if s.DIRMedianOLT > 0 {
+		s.OLTReduction = 1 - s.ParcelMedianOLT/s.DIRMedianOLT
+	}
+	if s.DIRMedianEnergy > 0 {
+		s.EnergyReduction = 1 - s.ParcelMedianEnergy/s.DIRMedianEnergy
+	}
+	return s
+}
+
+// SPDYResult is the future-work quantitative comparison (§9): DIR vs a
+// SPDY-transport browser vs PARCEL(IND).
+type SPDYResult struct {
+	DIROLT, SPDYOLT, ParcelOLT          []float64
+	DIREnergy, SPDYEnergy, ParcelEnergy []float64
+}
+
+// SPDYComparison sweeps the page set across the three arms.
+func SPDYComparison(cfg Config) SPDYResult {
+	cfg = cfg.withDefaults()
+	var out SPDYResult
+	for _, page := range cfg.PageSet() {
+		params := cfg.Scenario
+		params.Seed = cfg.Seed
+
+		dTopo := scenario.Build(page, params)
+		d := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
+		sTopo := scenario.Build(page, params)
+		sp := spdybrowser.Run(sTopo, spdybrowser.Options{FixedRandom: true})
+		pTopo := scenario.Build(page, params)
+		p := core.Run(pTopo, core.DefaultProxyConfig(), core.DefaultClientConfig())
+
+		out.DIROLT = append(out.DIROLT, d.OLT.Seconds())
+		out.SPDYOLT = append(out.SPDYOLT, sp.OLT.Seconds())
+		out.ParcelOLT = append(out.ParcelOLT, p.OLT.Seconds())
+		out.DIREnergy = append(out.DIREnergy, d.RadioJ)
+		out.SPDYEnergy = append(out.SPDYEnergy, sp.RadioJ)
+		out.ParcelEnergy = append(out.ParcelEnergy, p.RadioJ)
+	}
+	return out
+}
+
+// CombinedResult carries both latency and energy sweeps over one run.
+type CombinedResult struct {
+	ParcelOLT, DIROLT       []float64
+	ParcelTLT, DIRTLT       []float64
+	ParcelEnergy, DIREnergy []float64
+}
+
+// Fig6bAndEnergy runs the DIR/PARCEL sweep once and extracts both figures'
+// series (cheaper than running Fig6b and Fig7bc separately).
+func Fig6bAndEnergy(cfg Config) CombinedResult {
+	cfg = cfg.withDefaults()
+	var out CombinedResult
+	for _, pr := range Sweep(cfg, []Scheme{DIRScheme, ParcelScheme(sched.ConfigIND)}) {
+		d := pr.Runs["DIR"]
+		p := pr.Runs["PARCEL(IND)"]
+		out.DIROLT = append(out.DIROLT, d.OLT.Seconds())
+		out.DIRTLT = append(out.DIRTLT, d.TLT.Seconds())
+		out.DIREnergy = append(out.DIREnergy, d.RadioJ)
+		out.ParcelOLT = append(out.ParcelOLT, p.OLT.Seconds())
+		out.ParcelTLT = append(out.ParcelTLT, p.TLT.Seconds())
+		out.ParcelEnergy = append(out.ParcelEnergy, p.RadioJ)
+	}
+	return out
+}

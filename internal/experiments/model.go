@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/parcel-go/parcel/internal/radio"
+	"github.com/parcel-go/parcel/internal/sched"
+)
+
+// ModelPoint is one bundle-count evaluation of the §6 closed forms.
+type ModelPoint struct {
+	N       float64
+	OLT     time.Duration
+	EnergyJ float64
+}
+
+// ModelResult validates the §6 analysis: the α constant, the optimal bundle
+// size for the paper's worked example (2 MB page, 6 Mbps ⇒ b* ≈ 0.9 MB), and
+// the E(n)/OLT(n) trade-off curves.
+type ModelResult struct {
+	Alpha            float64
+	PaperAlpha       float64
+	OptimalBundle    float64 // bytes
+	PaperOptimalLow  float64
+	PaperOptimalHigh float64
+	Curve            []ModelPoint
+	MinEnergyN       float64
+}
+
+// Model runs the §6 analytical model for the paper's worked example.
+func Model() ModelResult {
+	p := radio.DefaultLTE()
+	// Tp is set high enough that E(n) stays within the model's validity
+	// bound across the plotted n range (the closed form requires a
+	// nonnegative Long-DRX residence, §6).
+	m := sched.Model{
+		Radio:       p,
+		SpeedBps:    6e6 / 8,
+		PageBytes:   2 * 1024 * 1024,
+		ProxyOnload: 10 * time.Second,
+	}
+	out := ModelResult{
+		Alpha:            p.Alpha(),
+		PaperAlpha:       0.74,
+		OptimalBundle:    m.OptimalBundleSize(),
+		PaperOptimalLow:  0.8e6,
+		PaperOptimalHigh: 1.0e6,
+	}
+	best := ModelPoint{N: 1, EnergyJ: m.RadioEnergy(1)}
+	for n := 1.0; n <= 32; n++ {
+		pt := ModelPoint{N: n, OLT: m.OLT(n), EnergyJ: m.RadioEnergy(n)}
+		out.Curve = append(out.Curve, pt)
+		if pt.EnergyJ < best.EnergyJ {
+			best = pt
+		}
+	}
+	out.MinEnergyN = best.N
+	return out
+}

@@ -1,0 +1,411 @@
+// Package htmlparse is a from-scratch HTML tokenizer and DOM-tree builder
+// sized for the browsing engine: it handles elements, attributes (quoted and
+// bare), text, comments, doctype, void elements, and raw-text elements
+// (script/style), and extracts the external resources a page references —
+// the object-identification step that PARCEL moves to the proxy (§4.2).
+package htmlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a DOM node: an element (Tag != "") or a text node (Tag == "").
+type Node struct {
+	Tag      string
+	Attrs    map[string]string
+	Children []*Node
+	Text     string // text nodes and raw-text element content
+}
+
+// Attr returns the attribute value (lowercased key) or "".
+func (n *Node) Attr(key string) string {
+	if n.Attrs == nil {
+		return ""
+	}
+	return n.Attrs[key]
+}
+
+// voidElements never have closing tags.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements contain raw text until their literal closing tag.
+var rawTextElements = map[string]bool{"script": true, "style": true, "title": true}
+
+// Parse builds a DOM tree from HTML source. The parser is forgiving the way
+// browsers are: unknown tags nest normally, stray closing tags pop to the
+// nearest matching open element, and unclosed elements are closed at EOF.
+func Parse(src []byte) (*Node, error) {
+	p := &parser{src: string(src)}
+	root := &Node{Tag: "#document"}
+	p.stack = []*Node{root}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+type parser struct {
+	src   string
+	pos   int
+	stack []*Node
+}
+
+func (p *parser) top() *Node { return p.stack[len(p.stack)-1] }
+
+func (p *parser) appendChild(n *Node) {
+	t := p.top()
+	t.Children = append(t.Children, n)
+}
+
+func (p *parser) run() error {
+	for p.pos < len(p.src) {
+		if p.src[p.pos] == '<' {
+			if err := p.tag(); err != nil {
+				return err
+			}
+			continue
+		}
+		p.text()
+	}
+	return nil
+}
+
+func (p *parser) text() {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '<' {
+		p.pos++
+	}
+	chunk := p.src[start:p.pos]
+	if strings.TrimSpace(chunk) != "" {
+		p.appendChild(&Node{Text: chunk})
+	}
+}
+
+func (p *parser) tag() error {
+	// p.src[p.pos] == '<'
+	if strings.HasPrefix(p.src[p.pos:], "<!--") {
+		end := strings.Index(p.src[p.pos+4:], "-->")
+		if end < 0 {
+			p.pos = len(p.src)
+			return nil
+		}
+		p.pos += 4 + end + 3
+		return nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "<!") { // doctype and friends
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			p.pos = len(p.src)
+			return nil
+		}
+		p.pos += end + 1
+		return nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "</") {
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			return fmt.Errorf("htmlparse: unterminated closing tag at offset %d", p.pos)
+		}
+		name := strings.ToLower(strings.TrimSpace(p.src[p.pos+2 : p.pos+end]))
+		p.pos += end + 1
+		p.popTo(name)
+		return nil
+	}
+	// Opening tag.
+	name, attrs, selfClose, err := p.openTag()
+	if err != nil {
+		return err
+	}
+	n := &Node{Tag: name, Attrs: attrs}
+	p.appendChild(n)
+	if selfClose || voidElements[name] {
+		return nil
+	}
+	if rawTextElements[name] {
+		closeTag := "</" + name
+		idx := strings.Index(strings.ToLower(p.src[p.pos:]), closeTag)
+		if idx < 0 {
+			n.Text = p.src[p.pos:]
+			p.pos = len(p.src)
+			return nil
+		}
+		n.Text = p.src[p.pos : p.pos+idx]
+		rest := p.src[p.pos+idx:]
+		gt := strings.IndexByte(rest, '>')
+		if gt < 0 {
+			p.pos = len(p.src)
+			return nil
+		}
+		p.pos += idx + gt + 1
+		return nil
+	}
+	p.stack = append(p.stack, n)
+	return nil
+}
+
+// openTag parses "<name attr=val ...>" starting at p.pos ('<').
+func (p *parser) openTag() (name string, attrs map[string]string, selfClose bool, err error) {
+	i := p.pos + 1
+	start := i
+	for i < len(p.src) && isNameChar(p.src[i]) {
+		i++
+	}
+	if i == start {
+		// A bare '<' in text; treat it as text.
+		p.appendChild(&Node{Text: "<"})
+		p.pos++
+		return "", nil, true, nil
+	}
+	name = strings.ToLower(p.src[start:i])
+	for {
+		for i < len(p.src) && isSpace(p.src[i]) {
+			i++
+		}
+		if i >= len(p.src) {
+			return "", nil, false, fmt.Errorf("htmlparse: unterminated tag <%s at offset %d", name, p.pos)
+		}
+		if p.src[i] == '>' {
+			p.pos = i + 1
+			return name, attrs, selfClose, nil
+		}
+		if p.src[i] == '/' {
+			selfClose = true
+			i++
+			continue
+		}
+		// Attribute.
+		aStart := i
+		for i < len(p.src) && !isSpace(p.src[i]) && p.src[i] != '=' && p.src[i] != '>' && p.src[i] != '/' {
+			i++
+		}
+		key := strings.ToLower(p.src[aStart:i])
+		val := ""
+		for i < len(p.src) && isSpace(p.src[i]) {
+			i++
+		}
+		if i < len(p.src) && p.src[i] == '=' {
+			i++
+			for i < len(p.src) && isSpace(p.src[i]) {
+				i++
+			}
+			if i < len(p.src) && (p.src[i] == '"' || p.src[i] == '\'') {
+				quote := p.src[i]
+				i++
+				vStart := i
+				for i < len(p.src) && p.src[i] != quote {
+					i++
+				}
+				val = p.src[vStart:i]
+				if i < len(p.src) {
+					i++
+				}
+			} else {
+				vStart := i
+				for i < len(p.src) && !isSpace(p.src[i]) && p.src[i] != '>' {
+					i++
+				}
+				val = p.src[vStart:i]
+			}
+		}
+		if key != "" {
+			if attrs == nil {
+				attrs = make(map[string]string)
+			}
+			attrs[key] = val
+		}
+	}
+}
+
+// popTo closes elements up to and including the nearest element named name.
+func (p *parser) popTo(name string) {
+	for i := len(p.stack) - 1; i > 0; i-- {
+		if p.stack[i].Tag == name {
+			p.stack = p.stack[:i]
+			return
+		}
+	}
+	// No matching open element: ignore the stray closing tag.
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_'
+}
+
+// Walk visits every node in document order.
+func Walk(n *Node, fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		Walk(c, fn)
+	}
+}
+
+// Find returns every element with the given tag, in document order.
+func Find(root *Node, tag string) []*Node {
+	var out []*Node
+	Walk(root, func(n *Node) {
+		if n.Tag == tag {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// FindByAttr returns the first element whose attribute key equals value.
+func FindByAttr(root *Node, key, value string) *Node {
+	var found *Node
+	Walk(root, func(n *Node) {
+		if found == nil && n.Tag != "" && n.Attr(key) == value {
+			found = n
+		}
+	})
+	return found
+}
+
+// ResKind classifies a referenced resource.
+type ResKind int
+
+const (
+	// ResStylesheet is a <link rel=stylesheet>.
+	ResStylesheet ResKind = iota
+	// ResScript is a <script src>.
+	ResScript
+	// ResImage is an <img src> or <input type=image>.
+	ResImage
+	// ResIframe is an <iframe src>.
+	ResIframe
+	// ResMedia is <video>/<audio>/<source>/<embed> content.
+	ResMedia
+)
+
+func (k ResKind) String() string {
+	switch k {
+	case ResStylesheet:
+		return "css"
+	case ResScript:
+		return "script"
+	case ResImage:
+		return "image"
+	case ResIframe:
+		return "iframe"
+	case ResMedia:
+		return "media"
+	default:
+		return "?"
+	}
+}
+
+// Resource is an external object a page references.
+type Resource struct {
+	URL   string
+	Kind  ResKind
+	Async bool // script with the async or defer attribute
+}
+
+// Resources extracts every external resource reference in the tree, with
+// URLs resolved against baseURL.
+func Resources(root *Node, baseURL string) []Resource {
+	var out []Resource
+	add := func(raw string, kind ResKind, async bool) {
+		if raw == "" {
+			return
+		}
+		u := ResolveURL(baseURL, raw)
+		if u == "" {
+			return
+		}
+		out = append(out, Resource{URL: u, Kind: kind, Async: async})
+	}
+	Walk(root, func(n *Node) {
+		switch n.Tag {
+		case "link":
+			rel := strings.ToLower(n.Attr("rel"))
+			if rel == "stylesheet" {
+				add(n.Attr("href"), ResStylesheet, false)
+			}
+		case "script":
+			if src := n.Attr("src"); src != "" {
+				_, async := n.Attrs["async"]
+				_, deferred := n.Attrs["defer"]
+				add(src, ResScript, async || deferred)
+			}
+		case "img":
+			add(n.Attr("src"), ResImage, false)
+		case "input":
+			if strings.ToLower(n.Attr("type")) == "image" {
+				add(n.Attr("src"), ResImage, false)
+			}
+		case "iframe":
+			add(n.Attr("src"), ResIframe, false)
+		case "video", "audio", "embed", "source":
+			add(n.Attr("src"), ResMedia, false)
+		}
+	})
+	return out
+}
+
+// InlineScripts returns the bodies of <script> elements without src, in
+// document order.
+func InlineScripts(root *Node) []string {
+	var out []string
+	Walk(root, func(n *Node) {
+		if n.Tag == "script" && n.Attr("src") == "" && strings.TrimSpace(n.Text) != "" {
+			out = append(out, n.Text)
+		}
+	})
+	return out
+}
+
+// InlineStyles returns the bodies of <style> elements, in document order.
+func InlineStyles(root *Node) []string {
+	var out []string
+	Walk(root, func(n *Node) {
+		if n.Tag == "style" && strings.TrimSpace(n.Text) != "" {
+			out = append(out, n.Text)
+		}
+	})
+	return out
+}
+
+// ResolveURL resolves ref against base. It supports absolute http URLs,
+// protocol-relative (//host/path), root-relative (/path) and
+// directory-relative (path) references. Fragment-only and non-http schemes
+// resolve to "".
+func ResolveURL(base, ref string) string {
+	ref = strings.TrimSpace(ref)
+	switch {
+	case ref == "" || strings.HasPrefix(ref, "#"):
+		return ""
+	case strings.HasPrefix(ref, "http://"), strings.HasPrefix(ref, "https://"):
+		// https objects resolve normally; PARCEL routes them over the
+		// client's direct fallback path rather than the proxy (§4.5).
+		return ref
+	case strings.Contains(ref, "://"):
+		return "" // unsupported scheme
+	case strings.HasPrefix(ref, "//"):
+		return "http:" + ref
+	}
+	rest, ok := strings.CutPrefix(base, "http://")
+	if !ok {
+		return ""
+	}
+	host := rest
+	dir := "/"
+	if slash := strings.IndexByte(rest, '/'); slash >= 0 {
+		host = rest[:slash]
+		path := rest[slash:]
+		if last := strings.LastIndexByte(path, '/'); last >= 0 {
+			dir = path[:last+1]
+		}
+	}
+	if strings.HasPrefix(ref, "/") {
+		return "http://" + host + ref
+	}
+	return "http://" + host + dir + ref
+}

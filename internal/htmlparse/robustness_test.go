@@ -1,0 +1,64 @@
+package htmlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics and never loops on arbitrary byte soup, and
+// any returned tree walks without crashing — browser-grade resilience.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		root, err := Parse(data)
+		if err != nil {
+			return true
+		}
+		count := 0
+		Walk(root, func(*Node) { count++ })
+		return count >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parse handles adversarial tag fragments built from HTML-ish
+// tokens without panicking.
+func TestParseNeverPanicsOnTagSoup(t *testing.T) {
+	pieces := []string{
+		"<", ">", "</", "/>", "<div", "<img src=", `"`, "'", "=", "<!--",
+		"-->", "<!DOCTYPE", "<script>", "</script>", "<style>", "text",
+		"<a href='", "<<>>", "</div>", " ", "\n", "<p", "attr", "<iframe src",
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		var b strings.Builder
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		src := b.String()
+		root, err := Parse([]byte(src))
+		if err != nil {
+			continue
+		}
+		Resources(root, "http://x.com/")
+		InlineScripts(root)
+		InlineStyles(root)
+	}
+}
+
+// Property: ResolveURL output is always empty or an absolute http(s) URL.
+func TestResolveURLAlwaysAbsolute(t *testing.T) {
+	f := func(ref string) bool {
+		got := ResolveURL("http://base.com/dir/page.html", ref)
+		return got == "" ||
+			strings.HasPrefix(got, "http://") ||
+			strings.HasPrefix(got, "https://")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

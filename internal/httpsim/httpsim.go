@@ -1,0 +1,389 @@
+// Package httpsim layers HTTP/1.1 request–response semantics over the simnet
+// TCP model: origin servers that serve objects from a store, and clients with
+// per-domain persistent-connection pools (the "6 connections per domain" a
+// traditional browser uses, §8.1), DNS resolution, and one outstanding
+// request per connection (no pipelining — the limitation PARCEL sidesteps).
+package httpsim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/dnssim"
+	"github.com/parcel-go/parcel/internal/eventsim"
+	"github.com/parcel-go/parcel/internal/simnet"
+)
+
+const (
+	// requestOverhead approximates HTTP request-line + header bytes.
+	requestOverhead = 350
+	// responseOverhead approximates HTTP status-line + header bytes.
+	responseOverhead = 320
+)
+
+// Request is an HTTP request in flight.
+type Request struct {
+	Method   string
+	URL      string // absolute: http://domain/path
+	BodySize int    // POST body bytes (0 for GET)
+}
+
+// WireSize is the bytes the request occupies on the wire.
+func (r Request) WireSize() int { return requestOverhead + len(r.URL) + r.BodySize }
+
+// Response is an HTTP response.
+type Response struct {
+	Status      int
+	URL         string
+	ContentType string
+	Body        []byte // actual content; parsers consume this
+}
+
+// WireSize is the bytes the response occupies on the wire.
+func (r Response) WireSize() int { return responseOverhead + len(r.Body) }
+
+// SplitURL returns the domain and path of an absolute http(s) URL. It panics
+// on malformed URLs: every URL in the system is machine-generated, so a bad
+// one is a generator or parser bug.
+func SplitURL(url string) (domain, path string) {
+	domain, path, _ = SplitURLScheme(url)
+	return domain, path
+}
+
+// SplitURLScheme additionally reports whether the URL is https.
+func SplitURLScheme(url string) (domain, path string, tls bool) {
+	rest, ok := strings.CutPrefix(url, "http://")
+	if !ok {
+		rest, ok = strings.CutPrefix(url, "https://")
+		if !ok {
+			panic(fmt.Sprintf("httpsim: non-absolute URL %q", url))
+		}
+		tls = true
+	}
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return rest, "/", tls
+	}
+	return rest[:slash], rest[slash:], tls
+}
+
+// Object is stored origin content.
+type Object struct {
+	URL         string
+	ContentType string
+	Body        []byte
+	Status      int // 0 means 200
+}
+
+// Store resolves a URL to origin content.
+type Store interface {
+	Get(url string) (Object, bool)
+}
+
+// MapStore is a trivial in-memory Store.
+type MapStore map[string]Object
+
+// Get implements Store.
+func (m MapStore) Get(url string) (Object, bool) {
+	o, ok := m[url]
+	return o, ok
+}
+
+// tlsHello and tlsDone model the TLS setup exchange on https connections:
+// one extra round trip carrying a client hello and the server certificate.
+type tlsHello struct{}
+
+type tlsDone struct{}
+
+const (
+	tlsHelloSize = 330
+	tlsCertSize  = 3200
+)
+
+// Server serves objects from a store at a simnet host. One Server instance
+// handles every connection arriving at its host.
+type Server struct {
+	host  *simnet.Host
+	store Store
+	think time.Duration
+
+	// Requests counts requests served (including 404s).
+	Requests int
+}
+
+// NewServer installs an HTTP server on host serving from store, with a fixed
+// per-request processing (think) time. sched is the simulation the host
+// belongs to.
+func NewServer(sched *eventsim.Simulator, host *simnet.Host, store Store, think time.Duration) *Server {
+	s := &Server{host: host, store: store, think: think}
+	host.Listen(func(c *simnet.Conn) {
+		c.OnMessage(host, func(m simnet.Message) {
+			if _, isHello := m.Payload.(tlsHello); isHello {
+				c.Send(host, tlsCertSize, tlsDone{}, "tls", nil)
+				return
+			}
+			req, ok := m.Payload.(Request)
+			if !ok {
+				return
+			}
+			s.Requests++
+			respond := func() {
+				obj, found := s.store.Get(req.URL)
+				resp := Response{Status: 200, URL: req.URL, ContentType: obj.ContentType, Body: obj.Body}
+				if !found {
+					resp = Response{Status: 404, URL: req.URL, Body: []byte("not found")}
+				} else if obj.Status != 0 {
+					resp.Status = obj.Status
+				}
+				c.Send(host, resp.WireSize(), resp, req.URL, nil)
+			}
+			if s.think > 0 {
+				sched.Schedule(s.think, respond)
+			} else {
+				respond()
+			}
+		})
+	})
+	return s
+}
+
+// Directory maps domain names to the simnet hosts that serve them.
+type Directory map[string]*simnet.Host
+
+// HostFor returns the host serving domain; panics on unknown domains, which
+// indicates broken topology wiring.
+func (d Directory) HostFor(domain string) *simnet.Host {
+	h, ok := d[domain]
+	if !ok {
+		panic(fmt.Sprintf("httpsim: no host for domain %q", domain))
+	}
+	return h
+}
+
+// Client issues HTTP requests from a host, with DNS resolution, per-domain
+// connection pools of bounded size, and a browser-like cap on total parallel
+// connections (2014-era mobile engines pooled ~17 connections overall — one
+// of the reasons "all the objects cannot be requested in parallel", §3).
+type Client struct {
+	sched    *eventsim.Simulator
+	host     *simnet.Host
+	dir      Directory
+	resolver *dnssim.Resolver
+	maxConns int
+	maxTotal int
+
+	pools      map[string]*pool
+	queue      []pendingReq
+	totalConns int
+
+	// RequestsSent counts requests put on the wire.
+	RequestsSent int
+	// ConnsOpened counts TCP connections dialed.
+	ConnsOpened int
+}
+
+// NewClient builds a client. resolver may be nil (no DNS cost).
+// maxConnsPerDomain <= 0 defaults to 6; maxTotalConns <= 0 means unlimited.
+func NewClient(sched *eventsim.Simulator, host *simnet.Host, dir Directory, resolver *dnssim.Resolver, maxConnsPerDomain int) *Client {
+	if maxConnsPerDomain <= 0 {
+		maxConnsPerDomain = 6
+	}
+	return &Client{
+		sched: sched, host: host, dir: dir, resolver: resolver,
+		maxConns: maxConnsPerDomain, pools: make(map[string]*pool),
+	}
+}
+
+// SetMaxTotalConns caps the client's total parallel connections across all
+// domains (0 = unlimited). Call before issuing requests.
+func (c *Client) SetMaxTotalConns(n int) { c.maxTotal = n }
+
+type pool struct {
+	domain  string
+	conns   []*pconn
+	dialing int // connections in handshake
+}
+
+type pconn struct {
+	conn    *simnet.Conn
+	busy    bool
+	ready   bool // handshake finished
+	current func(Response, time.Duration)
+}
+
+type pendingReq struct {
+	domain string // pool key (prefixed for TLS)
+	origin string // logical domain
+	tls    bool
+	req    Request
+	cb     func(Response, time.Duration)
+}
+
+// Do issues req and invokes cb with the response. Connection management
+// mirrors a traditional browser: reuse an idle persistent connection, dial a
+// new one when below the per-domain and total caps, otherwise queue. An
+// https URL uses a separate connection pool whose setup includes the TLS
+// exchange (one extra round trip).
+func (c *Client) Do(req Request, cb func(Response, time.Duration)) {
+	domain, _, tls := SplitURLScheme(req.URL)
+	key := domain
+	if tls {
+		key = "tls:" + domain
+	}
+	start := func(time.Duration) {
+		c.queue = append(c.queue, pendingReq{domain: key, origin: domain, tls: tls, req: req, cb: cb})
+		c.drain()
+	}
+	if c.resolver != nil {
+		c.resolver.Resolve(domain, start)
+	} else {
+		start(0)
+	}
+}
+
+// drain issues every queued request that can proceed, in FIFO order per
+// opportunity: a request runs on an idle ready connection for its domain, or
+// dials a new connection when below both caps; otherwise it keeps waiting
+// (later requests for other domains may still proceed). Connections in
+// handshake count as capacity already being created for their domain, so a
+// drain pass never dials more connections than a domain has waiting
+// requests.
+func (c *Client) drain() {
+	queue := c.queue
+	c.queue = nil
+	// Capacity being created per domain in this pass.
+	pendingCapacity := make(map[string]int)
+	for _, p := range c.pools {
+		pendingCapacity[p.domain] = p.dialing
+	}
+	var remaining []pendingReq
+	for _, pr := range queue {
+		if c.tryIssue(pr, pendingCapacity) {
+			continue
+		}
+		remaining = append(remaining, pr)
+	}
+	c.queue = append(remaining, c.queue...)
+}
+
+// tryIssue runs pr on an idle connection, or arranges capacity for it.
+// It returns true only when the request was actually issued.
+func (c *Client) tryIssue(pr pendingReq, pendingCapacity map[string]int) bool {
+	p := c.pools[pr.domain]
+	if p == nil {
+		p = &pool{domain: pr.domain}
+		c.pools[pr.domain] = p
+	}
+	for _, pc := range p.conns {
+		if pc.ready && !pc.busy {
+			c.issue(pc, pr)
+			return true
+		}
+	}
+	// Use capacity already being created (a handshake in flight) before
+	// dialing more.
+	if pendingCapacity[pr.domain] > 0 {
+		pendingCapacity[pr.domain]--
+		return false
+	}
+	if len(p.conns) >= c.maxConns {
+		return false
+	}
+	if c.maxTotal > 0 && c.totalConns >= c.maxTotal {
+		// Browser-like pool management: evict an idle connection of another
+		// domain to make room; if none is idle, wait for a response.
+		if !c.evictIdle(pr.domain) {
+			return false
+		}
+	}
+	c.dial(p, pr.origin, pr.tls)
+	return false // the request stays queued until the handshake completes
+}
+
+// evictIdle closes one ready idle connection belonging to a different
+// domain, returning true if room was made.
+func (c *Client) evictIdle(exceptDomain string) bool {
+	for _, p := range c.pools {
+		if p.domain == exceptDomain {
+			continue
+		}
+		for i, pc := range p.conns {
+			if pc.ready && !pc.busy {
+				pc.conn.Close()
+				p.conns = append(p.conns[:i], p.conns[i+1:]...)
+				c.totalConns--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *Client) dial(p *pool, origin string, tls bool) {
+	remote := c.dir.HostFor(origin)
+	pc := &pconn{}
+	p.conns = append(p.conns, pc)
+	c.ConnsOpened++
+	c.totalConns++
+	p.dialing++
+	pc.conn = c.host.Dial(remote, func(conn *simnet.Conn) {
+		if !tls {
+			pc.ready = true
+			p.dialing--
+			c.drain()
+			return
+		}
+		// TLS setup: hello out, certificate back, then ready.
+		conn.Send(c.host, tlsHelloSize, tlsHello{}, "tls", nil)
+	})
+	pc.conn.OnMessage(c.host, func(m simnet.Message) {
+		if _, isTLS := m.Payload.(tlsDone); isTLS {
+			pc.ready = true
+			p.dialing--
+			c.drain()
+			return
+		}
+		resp, ok := m.Payload.(Response)
+		if !ok {
+			return
+		}
+		done := pc.current
+		pc.current = nil
+		pc.busy = false
+		if done != nil {
+			done(resp, m.At)
+		}
+		c.drain()
+	})
+}
+
+func (c *Client) issue(pc *pconn, pr pendingReq) {
+	pc.busy = true
+	pc.current = pr.cb
+	c.RequestsSent++
+	pc.conn.Send(c.host, pr.req.WireSize(), pr.req, pr.req.URL, nil)
+}
+
+// OpenConns reports currently open connections for a domain (tests).
+func (c *Client) OpenConns(domain string) int {
+	p := c.pools[domain]
+	if p == nil {
+		return 0
+	}
+	return len(p.conns)
+}
+
+// TotalConns reports open connections across all domains.
+func (c *Client) TotalConns() int { return c.totalConns }
+
+// CloseIdle closes every pooled connection (end of a page session).
+func (c *Client) CloseIdle() {
+	for _, p := range c.pools {
+		for _, pc := range p.conns {
+			if pc.ready && !pc.busy && !pc.conn.Closed() {
+				pc.conn.Close()
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package httpsim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/eventsim"
+	"github.com/parcel-go/parcel/internal/simnet"
+)
+
+func spdyFixture(t *testing.T, store Store) (*eventsim.Simulator, *SPDYClient) {
+	t.Helper()
+	sim := eventsim.New(1)
+	n := simnet.New(sim)
+	clientH := n.AddHost("client", simnet.HostConfig{DownlinkBps: 1e6, UplinkBps: 250e3})
+	a := n.AddHost("a", simnet.HostConfig{})
+	b := n.AddHost("b", simnet.HostConfig{})
+	n.SetPath(clientH, a, simnet.PathParams{RTT: 80 * time.Millisecond})
+	n.SetPath(clientH, b, simnet.PathParams{RTT: 80 * time.Millisecond})
+	NewServer(sim, a, store, 0)
+	NewServer(sim, b, store, 0)
+	dir := Directory{"a.com": a, "b.com": b}
+	return sim, NewSPDYClient(sim, clientH, dir, nil)
+}
+
+func spdyStore(n int) MapStore {
+	store := MapStore{}
+	for i := 0; i < n; i++ {
+		for _, d := range []string{"a.com", "b.com"} {
+			u := fmt.Sprintf("http://%s/o%d", d, i)
+			store[u] = Object{URL: u, Body: bytes.Repeat([]byte("x"), 3000)}
+		}
+	}
+	return store
+}
+
+func TestSPDYOneConnPerDomain(t *testing.T) {
+	sim, c := spdyFixture(t, spdyStore(10))
+	done := 0
+	for i := 0; i < 10; i++ {
+		for _, d := range []string{"a.com", "b.com"} {
+			c.Do(Request{URL: fmt.Sprintf("http://%s/o%d", d, i)}, func(Response, time.Duration) { done++ })
+		}
+	}
+	sim.Run()
+	if done != 20 {
+		t.Fatalf("completed %d of 20", done)
+	}
+	if c.ConnsOpened != 2 {
+		t.Fatalf("conns = %d, want 2", c.ConnsOpened)
+	}
+	if c.TotalConns() != 2 {
+		t.Fatalf("TotalConns = %d", c.TotalConns())
+	}
+}
+
+func TestSPDYPipelinesBeforeHandshake(t *testing.T) {
+	// All requests issued before the handshake completes still go out.
+	sim, c := spdyFixture(t, spdyStore(5))
+	done := 0
+	for i := 0; i < 5; i++ {
+		c.Do(Request{URL: fmt.Sprintf("http://a.com/o%d", i)}, func(Response, time.Duration) { done++ })
+	}
+	sim.Run()
+	if done != 5 {
+		t.Fatalf("done = %d", done)
+	}
+	if c.RequestsSent != 5 {
+		t.Fatalf("requests = %d", c.RequestsSent)
+	}
+}
+
+func TestSPDYFasterThanSerialHTTPForManySmallObjects(t *testing.T) {
+	// The multiplexing benefit: 20 small objects on one domain complete
+	// sooner than with a single-connection HTTP/1.1 client (one outstanding
+	// request at a time).
+	store := spdyStore(20)
+	simS, spdy := spdyFixture(t, store)
+	var lastS time.Duration
+	for i := 0; i < 20; i++ {
+		spdy.Do(Request{URL: fmt.Sprintf("http://a.com/o%d", i)}, func(_ Response, at time.Duration) { lastS = at })
+	}
+	simS.Run()
+
+	simH := eventsim.New(1)
+	n := simnet.New(simH)
+	clientH := n.AddHost("client", simnet.HostConfig{DownlinkBps: 1e6, UplinkBps: 250e3})
+	a := n.AddHost("a", simnet.HostConfig{})
+	n.SetPath(clientH, a, simnet.PathParams{RTT: 80 * time.Millisecond})
+	NewServer(simH, a, store, 0)
+	http1 := NewClient(simH, clientH, Directory{"a.com": a}, nil, 1)
+	var lastH time.Duration
+	for i := 0; i < 20; i++ {
+		http1.Do(Request{URL: fmt.Sprintf("http://a.com/o%d", i)}, func(_ Response, at time.Duration) { lastH = at })
+	}
+	simH.Run()
+
+	if lastS >= lastH {
+		t.Fatalf("SPDY %v not faster than 1-conn HTTP %v", lastS, lastH)
+	}
+}
+
+func TestEvictIdleMakesRoomForNewDomain(t *testing.T) {
+	// With a total cap of 2 and two domains already holding idle conns, a
+	// request for a third domain must evict one rather than deadlock.
+	sim := eventsim.New(1)
+	n := simnet.New(sim)
+	clientH := n.AddHost("client", simnet.HostConfig{})
+	hosts := map[string]*simnet.Host{}
+	store := MapStore{}
+	dir := Directory{}
+	for _, d := range []string{"a.com", "b.com", "c.com"} {
+		h := n.AddHost(d, simnet.HostConfig{})
+		n.SetPath(clientH, h, simnet.PathParams{RTT: 40 * time.Millisecond})
+		NewServer(sim, h, store, 0)
+		hosts[d] = h
+		dir[d] = h
+		u := "http://" + d + "/x"
+		store[u] = Object{URL: u, Body: []byte("x")}
+	}
+	c := NewClient(sim, clientH, dir, nil, 6)
+	c.SetMaxTotalConns(2)
+	done := map[string]bool{}
+	for _, d := range []string{"a.com", "b.com"} {
+		d := d
+		c.Do(Request{URL: "http://" + d + "/x"}, func(Response, time.Duration) { done[d] = true })
+	}
+	sim.Run()
+	c.Do(Request{URL: "http://c.com/x"}, func(Response, time.Duration) { done["c.com"] = true })
+	sim.Run()
+	for _, d := range []string{"a.com", "b.com", "c.com"} {
+		if !done[d] {
+			t.Fatalf("request to %s never completed (deadlock at total cap?)", d)
+		}
+	}
+	if c.TotalConns() > 2 {
+		t.Fatalf("total conns = %d exceeds cap", c.TotalConns())
+	}
+}
+
+func TestHTTPSRequiresExtraRoundTrip(t *testing.T) {
+	sim := eventsim.New(1)
+	n := simnet.New(sim)
+	clientH := n.AddHost("client", simnet.HostConfig{})
+	h := n.AddHost("sec", simnet.HostConfig{})
+	n.SetPath(clientH, h, simnet.PathParams{RTT: 100 * time.Millisecond})
+	store := MapStore{
+		"http://sec.com/x":  {URL: "http://sec.com/x", Body: []byte("plain")},
+		"https://sec.com/x": {URL: "https://sec.com/x", Body: []byte("secure")},
+	}
+	NewServer(sim, h, store, 0)
+	c := NewClient(sim, clientH, Directory{"sec.com": h}, nil, 6)
+	var tPlain, tSecure time.Duration
+	c.Do(Request{URL: "http://sec.com/x"}, func(_ Response, at time.Duration) { tPlain = at })
+	sim.Run()
+	c.Do(Request{URL: "https://sec.com/x"}, func(_ Response, at time.Duration) { tSecure = at })
+	sim.Run()
+	// Plain: handshake + request ≈ 2 RTT. Secure on a fresh pool: handshake
+	// + TLS + request ≈ 3 RTT.
+	if tSecure-tPlain < 90*time.Millisecond {
+		t.Fatalf("https total %v vs http %v — missing TLS round trip", tSecure, tPlain)
+	}
+	// Separate pools: the https request dialed its own connection.
+	if c.ConnsOpened != 2 {
+		t.Fatalf("conns = %d, want 2 (separate pools)", c.ConnsOpened)
+	}
+}
+
+func TestSplitURLScheme(t *testing.T) {
+	d, p, tls := SplitURLScheme("https://a.com/x")
+	if d != "a.com" || p != "/x" || !tls {
+		t.Fatalf("https parse: %q %q %v", d, p, tls)
+	}
+	d, p, tls = SplitURLScheme("http://b.com")
+	if d != "b.com" || p != "/" || tls {
+		t.Fatalf("http parse: %q %q %v", d, p, tls)
+	}
+}

@@ -1,0 +1,77 @@
+// Package metrics assembles the paper's per-run measurements (§7.1) from a
+// finished simulation: OLT and TLT from the browser milestones and client
+// packet trace, radio energy from the RRC simulation over that trace, and
+// the client-side request/connection counts the analysis correlates against.
+package metrics
+
+import (
+	"time"
+
+	"github.com/parcel-go/parcel/internal/radio"
+	"github.com/parcel-go/parcel/internal/trace"
+)
+
+// PageRun is the outcome of loading one page with one scheme.
+type PageRun struct {
+	Scheme string
+	Page   string
+
+	// OLT is the client onload time (KPI for initial responsiveness, §2.1).
+	OLT time.Duration
+	// TLT is the total page-load time: all objects fetched, no interaction.
+	TLT time.Duration
+
+	// Radio is the RRC/energy simulation over the client trace.
+	Radio radio.Report
+	// RadioJ is Radio.TotalEnergy in joules (convenience).
+	RadioJ float64
+
+	// CPUActive is modelled client CPU-active time (parse + JS).
+	CPUActive time.Duration
+
+	// HTTPRequests counts HTTP requests the client issued over the
+	// cellular link (per-object for DIR; one for PARCEL plus fallbacks).
+	HTTPRequests int
+	// ConnsOpened counts TCP connections the client dialed.
+	ConnsOpened int
+	// ObjectsLoaded counts objects that reached the client engine.
+	ObjectsLoaded int
+	// FallbackRequests counts PARCEL missing-object requests (§4.5).
+	FallbackRequests int
+
+	// BytesDown and BytesUp are wire bytes at the client.
+	BytesDown, BytesUp int64
+}
+
+// FromTrace fills the trace-derived fields of r: TLT from the last DATA
+// packet (the paper's trace endpoint), byte counts, and the radio report.
+// onload is the client engine's onload time. keep filters packets that count
+// as page content (nil keeps everything); PARCEL passes a filter that
+// excludes its control messages so that — like the paper's metrics — both
+// TLT and the energy window end with the page's objects.
+func FromTrace(r *PageRun, rec *trace.Recorder, onload time.Duration, params radio.Params, keep func(trace.Packet) bool) {
+	r.OLT = onload
+	if keep == nil {
+		keep = func(trace.Packet) bool { return true }
+	}
+	if last, ok := rec.LastDataMatching(keep); ok {
+		r.TLT = last
+	}
+	down, up := trace.Down, trace.Up
+	r.BytesDown = rec.TotalBytes(&down)
+	r.BytesUp = rec.TotalBytes(&up)
+	// The RRC/energy window covers the page-content trace, exactly like
+	// running ARO over the paper's per-page tcpdump captures (§7.1): it
+	// ends at the last content packet; activity beyond it (e.g. PARCEL's
+	// completion notification, seconds after the page is done) is outside
+	// the page-load measurement for every scheme alike.
+	horizon := r.TLT
+	var acts []radio.Activity
+	for _, a := range rec.Activities() {
+		if a.At <= horizon {
+			acts = append(acts, a)
+		}
+	}
+	r.Radio = radio.Simulate(acts, params, horizon)
+	r.RadioJ = r.Radio.TotalEnergy
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/radio"
+	"github.com/parcel-go/parcel/internal/trace"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func capture() *trace.Recorder {
+	var r trace.Recorder
+	r.Record(trace.Packet{At: ms(0), Size: 100, Dir: trace.Up, Kind: trace.KindSYN})
+	r.Record(trace.Packet{At: ms(80), Size: 1500, Dir: trace.Down, Kind: trace.KindData, Label: "obj"})
+	r.Record(trace.Packet{At: ms(200), Size: 1500, Dir: trace.Down, Kind: trace.KindData, Label: "obj"})
+	r.Record(trace.Packet{At: ms(5200), Size: 160, Dir: trace.Down, Kind: trace.KindData, Label: "ctl:complete"})
+	return &r
+}
+
+func TestFromTraceBasics(t *testing.T) {
+	var run PageRun
+	FromTrace(&run, capture(), ms(250), radio.DefaultLTE(), nil)
+	if run.OLT != ms(250) {
+		t.Fatalf("OLT = %v", run.OLT)
+	}
+	// Without a filter, the control packet counts as the trace end.
+	if run.TLT != ms(5200) {
+		t.Fatalf("TLT = %v", run.TLT)
+	}
+	if run.BytesDown != 3160 || run.BytesUp != 100 {
+		t.Fatalf("bytes = %d down / %d up", run.BytesDown, run.BytesUp)
+	}
+	if run.RadioJ <= 0 {
+		t.Fatal("no radio energy")
+	}
+}
+
+func TestFromTraceControlFilter(t *testing.T) {
+	var filtered, unfiltered PageRun
+	keep := func(p trace.Packet) bool { return !strings.HasPrefix(p.Label, "ctl:") }
+	FromTrace(&filtered, capture(), ms(250), radio.DefaultLTE(), keep)
+	FromTrace(&unfiltered, capture(), ms(250), radio.DefaultLTE(), nil)
+	if filtered.TLT != ms(200) {
+		t.Fatalf("filtered TLT = %v, want 200ms", filtered.TLT)
+	}
+	// The energy window follows the filtered TLT, so the late control blip
+	// (and the idle gap before it) is excluded.
+	if filtered.RadioJ >= unfiltered.RadioJ {
+		t.Fatalf("filtered energy %.3f >= unfiltered %.3f", filtered.RadioJ, unfiltered.RadioJ)
+	}
+	if filtered.Radio.Horizon != ms(200) {
+		t.Fatalf("horizon = %v", filtered.Radio.Horizon)
+	}
+}
+
+func TestFromTraceEmptyCapture(t *testing.T) {
+	var run PageRun
+	FromTrace(&run, &trace.Recorder{}, 0, radio.DefaultLTE(), nil)
+	if run.TLT != 0 || run.RadioJ != 0 {
+		t.Fatalf("empty capture produced %+v", run)
+	}
+}

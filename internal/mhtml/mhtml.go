@@ -1,0 +1,151 @@
+// Package mhtml implements the bundle format the PARCEL proxy uses to push
+// collections of objects to the client (§5.1): a multipart/related container
+// where each part carries the object's HTTP headers (Content-Location,
+// Content-Type, status) followed by its body. Bodies are framed by
+// Content-Length, so arbitrary binary content round-trips byte-exactly.
+package mhtml
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Boundary separates parts. The leading dashes follow MIME conventions; the
+// value is fixed since bundles are framed by length, not by boundary search.
+const Boundary = "----=_PARCEL_BUNDLE"
+
+// Part is one object in a bundle.
+type Part struct {
+	URL         string
+	ContentType string
+	Status      int // 0 is treated as 200
+	Body        []byte
+}
+
+// Encode serializes parts into an MHTML bundle.
+func Encode(parts []Part) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Content-Type: multipart/related; boundary=%q\r\n\r\n", Boundary)
+	for _, p := range parts {
+		fmt.Fprintf(&b, "--%s\r\n", Boundary)
+		fmt.Fprintf(&b, "Content-Location: %s\r\n", p.URL)
+		ct := p.ContentType
+		if ct == "" {
+			ct = "application/octet-stream"
+		}
+		fmt.Fprintf(&b, "Content-Type: %s\r\n", ct)
+		status := p.Status
+		if status == 0 {
+			status = 200
+		}
+		fmt.Fprintf(&b, "X-Status: %d\r\n", status)
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(p.Body))
+		b.WriteString("\r\n")
+		b.Write(p.Body)
+		b.WriteString("\r\n")
+	}
+	fmt.Fprintf(&b, "--%s--\r\n", Boundary)
+	return b.Bytes()
+}
+
+// Decode parses a bundle produced by Encode.
+func Decode(data []byte) ([]Part, error) {
+	rest := data
+	// Skip the top-level header block.
+	idx := bytes.Index(rest, []byte("\r\n\r\n"))
+	if idx < 0 {
+		return nil, fmt.Errorf("mhtml: missing top-level header terminator")
+	}
+	rest = rest[idx+4:]
+
+	open := []byte("--" + Boundary + "\r\n")
+	closing := []byte("--" + Boundary + "--")
+	var parts []Part
+	for {
+		switch {
+		case bytes.HasPrefix(rest, closing):
+			return parts, nil
+		case bytes.HasPrefix(rest, open):
+			rest = rest[len(open):]
+		default:
+			return nil, fmt.Errorf("mhtml: expected boundary, got %.40q", rest)
+		}
+		hEnd := bytes.Index(rest, []byte("\r\n\r\n"))
+		if hEnd < 0 {
+			return nil, fmt.Errorf("mhtml: unterminated part headers")
+		}
+		var p Part
+		p.Status = 200
+		length := -1
+		for _, line := range strings.Split(string(rest[:hEnd]), "\r\n") {
+			key, val, ok := strings.Cut(line, ":")
+			if !ok {
+				return nil, fmt.Errorf("mhtml: malformed header line %q", line)
+			}
+			val = strings.TrimSpace(val)
+			switch strings.ToLower(key) {
+			case "content-location":
+				p.URL = val
+			case "content-type":
+				p.ContentType = val
+			case "x-status":
+				s, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("mhtml: bad status %q", val)
+				}
+				p.Status = s
+			case "content-length":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("mhtml: bad content-length %q", val)
+				}
+				length = n
+			}
+		}
+		if length < 0 {
+			return nil, fmt.Errorf("mhtml: part %q missing content-length", p.URL)
+		}
+		rest = rest[hEnd+4:]
+		if len(rest) < length+2 {
+			return nil, fmt.Errorf("mhtml: truncated body for %q", p.URL)
+		}
+		p.Body = append([]byte(nil), rest[:length]...)
+		rest = rest[length:]
+		if !bytes.HasPrefix(rest, []byte("\r\n")) {
+			return nil, fmt.Errorf("mhtml: missing body terminator for %q", p.URL)
+		}
+		rest = rest[2:]
+		parts = append(parts, p)
+	}
+}
+
+// EncodedSize returns the wire size of a bundle without materializing it —
+// the simulator uses this to size transfers while carrying parts in memory.
+func EncodedSize(parts []Part) int {
+	// Top-level header.
+	size := len("Content-Type: multipart/related; boundary=\"\"\r\n\r\n") + len(Boundary)
+	for _, p := range parts {
+		size += len("--"+Boundary+"\r\n") +
+			len("Content-Location: \r\n") + len(p.URL) +
+			len("Content-Type: \r\n") + len(p.ContentType) +
+			len("X-Status: 200\r\n") +
+			len("Content-Length: \r\n") + numWidth(len(p.Body)) +
+			len("\r\n") + len(p.Body) + len("\r\n")
+	}
+	size += len("--" + Boundary + "--\r\n")
+	return size
+}
+
+func numWidth(n int) int {
+	if n == 0 {
+		return 1
+	}
+	w := 0
+	for n > 0 {
+		w++
+		n /= 10
+	}
+	return w
+}

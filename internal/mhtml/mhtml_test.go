@@ -1,0 +1,157 @@
+package mhtml
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func samples() []Part {
+	return []Part{
+		{URL: "http://a.com/index.html", ContentType: "text/html", Status: 200, Body: []byte("<html>x</html>")},
+		{URL: "http://b.com/i.png", ContentType: "image/png", Body: []byte{0, 1, 2, 255, 13, 10, 13, 10}},
+		{URL: "http://c.com/e", ContentType: "text/plain", Status: 404, Body: nil},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	enc := Encode(samples())
+	parts, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := samples()
+	if len(parts) != len(want) {
+		t.Fatalf("parts = %d, want %d", len(parts), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		g := parts[i]
+		if g.URL != w.URL || g.ContentType != w.ContentType {
+			t.Errorf("part %d meta = %+v, want %+v", i, g, w)
+		}
+		wantStatus := w.Status
+		if wantStatus == 0 {
+			wantStatus = 200
+		}
+		if g.Status != wantStatus {
+			t.Errorf("part %d status = %d, want %d", i, g.Status, wantStatus)
+		}
+		if !bytes.Equal(g.Body, w.Body) {
+			t.Errorf("part %d body differs", i)
+		}
+	}
+}
+
+func TestBodyContainingBoundarySurvives(t *testing.T) {
+	evil := []byte("--" + Boundary + "--\r\nsneaky")
+	enc := Encode([]Part{{URL: "http://x.com/evil", ContentType: "application/octet-stream", Body: evil}})
+	parts, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parts[0].Body, evil) {
+		t.Fatal("boundary-containing body corrupted")
+	}
+}
+
+func TestEmptyBundle(t *testing.T) {
+	parts, err := Decode(Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 0 {
+		t.Fatalf("parts = %d, want 0", len(parts))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		[]byte("garbage"),
+		[]byte("Content-Type: x\r\n\r\nnot a boundary"),
+		bytes.TrimSuffix(Encode(samples()), []byte("--"+Boundary+"--\r\n")),
+	}
+	for i, b := range bad {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("case %d: Decode succeeded on malformed input", i)
+		}
+	}
+}
+
+func TestTruncatedBodyRejected(t *testing.T) {
+	enc := Encode(samples())
+	if _, err := Decode(enc[:len(enc)/2]); err == nil {
+		t.Fatal("truncated bundle decoded")
+	}
+}
+
+func TestEncodedSizeMatches(t *testing.T) {
+	parts := samples()
+	if got, want := EncodedSize(parts), len(Encode(parts)); got != want {
+		t.Fatalf("EncodedSize = %d, actual = %d", got, want)
+	}
+	if got, want := EncodedSize(nil), len(Encode(nil)); got != want {
+		t.Fatalf("EncodedSize(nil) = %d, actual = %d", got, want)
+	}
+}
+
+// Property: arbitrary binary bodies round-trip byte-exactly and EncodedSize
+// is exact.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(n uint8) bool {
+		count := int(n%5) + 1
+		parts := make([]Part, count)
+		for i := range parts {
+			body := make([]byte, rng.Intn(4096))
+			rng.Read(body)
+			parts[i] = Part{
+				URL:         "http://h.com/obj" + string(rune('a'+i)),
+				ContentType: "application/octet-stream",
+				Status:      200 + rng.Intn(300),
+				Body:        body,
+			}
+		}
+		enc := Encode(parts)
+		if len(enc) != EncodedSize(parts) {
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil || len(dec) != count {
+			return false
+		}
+		for i := range parts {
+			if dec[i].URL != parts[i].URL || dec[i].Status != parts[i].Status || !bytes.Equal(dec[i].Body, parts[i].Body) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode1MB(b *testing.B) {
+	body := make([]byte, 1<<20)
+	parts := []Part{{URL: "http://x.com/big", ContentType: "image/jpeg", Body: body}}
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(parts)
+	}
+}
+
+func BenchmarkDecode1MB(b *testing.B) {
+	body := make([]byte, 1<<20)
+	enc := Encode([]Part{{URL: "http://x.com/big", ContentType: "image/jpeg", Body: body}})
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,482 @@
+package minijs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a runtime value: null, bool, number, string, closure, native
+// function, or namespace.
+type Value struct {
+	kind  valueKind
+	b     bool
+	n     float64
+	s     string
+	fn    *Closure
+	nat   Native
+	space map[string]Value
+}
+
+type valueKind int
+
+const (
+	kindNull valueKind = iota
+	kindBool
+	kindNumber
+	kindString
+	kindClosure
+	kindNative
+	kindNamespace
+)
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Bool wraps a bool.
+func Bool(b bool) Value { return Value{kind: kindBool, b: b} }
+
+// Number wraps a float64.
+func Number(n float64) Value { return Value{kind: kindNumber, n: n} }
+
+// String wraps a string.
+func String(s string) Value { return Value{kind: kindString, s: s} }
+
+// NativeValue wraps a host function.
+func NativeValue(f Native) Value { return Value{kind: kindNative, nat: f} }
+
+// Namespace wraps a map of named host functions (e.g. the document object).
+func Namespace(m map[string]Value) Value { return Value{kind: kindNamespace, space: m} }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.kind == kindNull }
+
+// Truthy follows JavaScript-like coercion.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case kindNull:
+		return false
+	case kindBool:
+		return v.b
+	case kindNumber:
+		return v.n != 0
+	case kindString:
+		return v.s != ""
+	default:
+		return true
+	}
+}
+
+// Num returns the numeric value (0 for non-numbers).
+func (v Value) Num() float64 {
+	if v.kind == kindNumber {
+		return v.n
+	}
+	return 0
+}
+
+// Str renders the value as a string, the way string concatenation sees it.
+func (v Value) Str() string {
+	switch v.kind {
+	case kindNull:
+		return "null"
+	case kindBool:
+		return strconv.FormatBool(v.b)
+	case kindNumber:
+		if v.n == float64(int64(v.n)) {
+			return strconv.FormatInt(int64(v.n), 10)
+		}
+		return strconv.FormatFloat(v.n, 'g', -1, 64)
+	case kindString:
+		return v.s
+	case kindClosure:
+		return "[function]"
+	case kindNative:
+		return "[native]"
+	default:
+		return "[object]"
+	}
+}
+
+// Closure returns the closure value, or nil.
+func (v Value) Closure() *Closure {
+	if v.kind == kindClosure {
+		return v.fn
+	}
+	return nil
+}
+
+// Equals implements the == operator.
+func (v Value) Equals(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case kindNull:
+		return true
+	case kindBool:
+		return v.b == o.b
+	case kindNumber:
+		return v.n == o.n
+	case kindString:
+		return v.s == o.s
+	default:
+		return false // reference equality unsupported; scripts don't need it
+	}
+}
+
+// Native is a host-provided builtin.
+type Native func(args []Value) (Value, error)
+
+// Closure is a user function with its captured environment.
+type Closure struct {
+	Params []string
+	Body   []Stmt
+	env    *env
+}
+
+type env struct {
+	vars   map[string]Value
+	parent *env
+}
+
+func (e *env) lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+func (e *env) assign(name string, v Value) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+// Interp executes programs against host-bound builtins. One Interp holds the
+// global scope of one page's scripting context; every script and handler of
+// the page runs in it.
+type Interp struct {
+	globals *env
+	ops     int
+	maxOps  int
+}
+
+// DefaultMaxOps bounds total statements+expressions evaluated per Interp,
+// guarding against runaway generated loops.
+const DefaultMaxOps = 5_000_000
+
+// New creates an interpreter with an empty global scope.
+func New() *Interp {
+	return &Interp{globals: &env{vars: make(map[string]Value)}, maxOps: DefaultMaxOps}
+}
+
+// Bind installs a global builtin or value.
+func (in *Interp) Bind(name string, v Value) { in.globals.vars[name] = v }
+
+// BindNative installs a global native function.
+func (in *Interp) BindNative(name string, f Native) { in.Bind(name, NativeValue(f)) }
+
+// Ops returns the cumulative count of evaluation steps, the interpreter's
+// CPU-cost proxy: the browser engine converts it to device CPU time.
+func (in *Interp) Ops() int { return in.ops }
+
+// ResetOps zeroes the op counter (e.g. per measurement phase).
+func (in *Interp) ResetOps() { in.ops = 0 }
+
+// errReturn carries a return value up the stack.
+type errReturn struct{ v Value }
+
+func (errReturn) Error() string { return "return outside function" }
+
+// Run executes a program in the global scope.
+func (in *Interp) Run(p *Program) error {
+	err := in.execBlock(p.Stmts, in.globals)
+	if r, ok := err.(errReturn); ok {
+		_ = r
+		return nil // top-level return is tolerated
+	}
+	return err
+}
+
+// CallClosure invokes a closure (event handler, timer callback) with args.
+func (in *Interp) CallClosure(c *Closure, args ...Value) (Value, error) {
+	if c == nil {
+		return Null(), fmt.Errorf("minijs: call of null closure")
+	}
+	scope := &env{vars: make(map[string]Value, len(c.Params)), parent: c.env}
+	for i, p := range c.Params {
+		if i < len(args) {
+			scope.vars[p] = args[i]
+		} else {
+			scope.vars[p] = Null()
+		}
+	}
+	err := in.execBlock(c.Body, scope)
+	if r, ok := err.(errReturn); ok {
+		return r.v, nil
+	}
+	return Null(), err
+}
+
+func (in *Interp) step() error {
+	in.ops++
+	if in.ops > in.maxOps {
+		return fmt.Errorf("minijs: op budget exceeded (%d)", in.maxOps)
+	}
+	return nil
+}
+
+func (in *Interp) execBlock(stmts []Stmt, e *env) error {
+	for _, s := range stmts {
+		if err := in.exec(s, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) exec(s Stmt, e *env) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	switch s := s.(type) {
+	case *VarStmt:
+		v := Null()
+		if s.Init != nil {
+			var err error
+			v, err = in.eval(s.Init, e)
+			if err != nil {
+				return err
+			}
+		}
+		e.vars[s.Name] = v
+		return nil
+	case *AssignStmt:
+		v, err := in.eval(s.X, e)
+		if err != nil {
+			return err
+		}
+		if !e.assign(s.Name, v) {
+			// Implicit global, like sloppy-mode JS.
+			in.globals.vars[s.Name] = v
+		}
+		return nil
+	case *ExprStmt:
+		_, err := in.eval(s.X, e)
+		return err
+	case *IfStmt:
+		cond, err := in.eval(s.Cond, e)
+		if err != nil {
+			return err
+		}
+		scope := &env{vars: make(map[string]Value), parent: e}
+		if cond.Truthy() {
+			return in.execBlock(s.Then, scope)
+		}
+		return in.execBlock(s.Else, scope)
+	case *WhileStmt:
+		for {
+			cond, err := in.eval(s.Cond, e)
+			if err != nil {
+				return err
+			}
+			if !cond.Truthy() {
+				return nil
+			}
+			scope := &env{vars: make(map[string]Value), parent: e}
+			if err := in.execBlock(s.Body, scope); err != nil {
+				return err
+			}
+			if err := in.step(); err != nil {
+				return err
+			}
+		}
+	case *ForStmt:
+		scope := &env{vars: make(map[string]Value), parent: e}
+		if s.Init != nil {
+			if err := in.exec(s.Init, scope); err != nil {
+				return err
+			}
+		}
+		for {
+			if s.Cond != nil {
+				cond, err := in.eval(s.Cond, scope)
+				if err != nil {
+					return err
+				}
+				if !cond.Truthy() {
+					return nil
+				}
+			}
+			body := &env{vars: make(map[string]Value), parent: scope}
+			if err := in.execBlock(s.Body, body); err != nil {
+				return err
+			}
+			if s.Post != nil {
+				if err := in.exec(s.Post, scope); err != nil {
+					return err
+				}
+			}
+			if err := in.step(); err != nil {
+				return err
+			}
+		}
+	case *ReturnStmt:
+		v := Null()
+		if s.X != nil {
+			var err error
+			v, err = in.eval(s.X, e)
+			if err != nil {
+				return err
+			}
+		}
+		return errReturn{v: v}
+	default:
+		return fmt.Errorf("minijs: unknown statement %T", s)
+	}
+}
+
+func (in *Interp) eval(x Expr, e *env) (Value, error) {
+	if err := in.step(); err != nil {
+		return Null(), err
+	}
+	switch x := x.(type) {
+	case *Lit:
+		return x.Val, nil
+	case *Ident:
+		if v, ok := e.lookup(x.Name); ok {
+			return v, nil
+		}
+		return Null(), fmt.Errorf("minijs: undefined variable %q", x.Name)
+	case *Member:
+		base, err := in.eval(x.X, e)
+		if err != nil {
+			return Null(), err
+		}
+		if base.kind != kindNamespace {
+			return Null(), fmt.Errorf("minijs: member access %q on non-object", x.Name)
+		}
+		v, ok := base.space[x.Name]
+		if !ok {
+			return Null(), fmt.Errorf("minijs: unknown member %q", x.Name)
+		}
+		return v, nil
+	case *FuncLit:
+		return Value{kind: kindClosure, fn: &Closure{Params: x.Params, Body: x.Body, env: e}}, nil
+	case *Unary:
+		v, err := in.eval(x.X, e)
+		if err != nil {
+			return Null(), err
+		}
+		switch x.Op {
+		case "!":
+			return Bool(!v.Truthy()), nil
+		case "-":
+			return Number(-v.Num()), nil
+		}
+		return Null(), fmt.Errorf("minijs: unknown unary op %q", x.Op)
+	case *Binary:
+		return in.evalBinary(x, e)
+	case *Call:
+		fnv, err := in.eval(x.Fn, e)
+		if err != nil {
+			return Null(), err
+		}
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			args[i], err = in.eval(a, e)
+			if err != nil {
+				return Null(), err
+			}
+		}
+		switch fnv.kind {
+		case kindNative:
+			return fnv.nat(args)
+		case kindClosure:
+			return in.CallClosure(fnv.fn, args...)
+		default:
+			return Null(), fmt.Errorf("minijs: call of non-function")
+		}
+	default:
+		return Null(), fmt.Errorf("minijs: unknown expression %T", x)
+	}
+}
+
+func (in *Interp) evalBinary(x *Binary, e *env) (Value, error) {
+	// Short-circuit operators.
+	if x.Op == "&&" || x.Op == "||" {
+		l, err := in.eval(x.L, e)
+		if err != nil {
+			return Null(), err
+		}
+		if x.Op == "&&" && !l.Truthy() {
+			return l, nil
+		}
+		if x.Op == "||" && l.Truthy() {
+			return l, nil
+		}
+		return in.eval(x.R, e)
+	}
+	l, err := in.eval(x.L, e)
+	if err != nil {
+		return Null(), err
+	}
+	r, err := in.eval(x.R, e)
+	if err != nil {
+		return Null(), err
+	}
+	switch x.Op {
+	case "+":
+		if l.kind == kindString || r.kind == kindString {
+			return String(l.Str() + r.Str()), nil
+		}
+		return Number(l.Num() + r.Num()), nil
+	case "-":
+		return Number(l.Num() - r.Num()), nil
+	case "*":
+		return Number(l.Num() * r.Num()), nil
+	case "/":
+		return Number(l.Num() / r.Num()), nil
+	case "%":
+		ri := r.Num()
+		if ri == 0 {
+			return Number(0), nil
+		}
+		return Number(float64(int64(l.Num()) % int64(ri))), nil
+	case "==":
+		return Bool(l.Equals(r)), nil
+	case "!=":
+		return Bool(!l.Equals(r)), nil
+	case "<":
+		return compare(l, r, func(c int) bool { return c < 0 }), nil
+	case ">":
+		return compare(l, r, func(c int) bool { return c > 0 }), nil
+	case "<=":
+		return compare(l, r, func(c int) bool { return c <= 0 }), nil
+	case ">=":
+		return compare(l, r, func(c int) bool { return c >= 0 }), nil
+	}
+	return Null(), fmt.Errorf("minijs: unknown operator %q", x.Op)
+}
+
+func compare(l, r Value, ok func(int) bool) Value {
+	if l.kind == kindString && r.kind == kindString {
+		return Bool(ok(strings.Compare(l.s, r.s)))
+	}
+	ln, rn := l.Num(), r.Num()
+	switch {
+	case ln < rn:
+		return Bool(ok(-1))
+	case ln > rn:
+		return Bool(ok(1))
+	default:
+		return Bool(ok(0))
+	}
+}

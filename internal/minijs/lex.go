@@ -1,0 +1,172 @@
+// Package minijs implements a small JavaScript-like scripting language: the
+// substitute for real-page JavaScript in this reproduction. It is rich
+// enough to express everything the paper's evaluation depends on — dynamic
+// object fetches (including fetches discovered only after a script runs),
+// async/post-onload loads via timers, event handlers for user interactions,
+// DOM mutations, and randomized URLs (the §7.3 replay problem) — while
+// remaining a fully deterministic, from-scratch interpreter.
+//
+// Language summary:
+//
+//	var x = 1 + 2;                     // variables, numbers, strings, bools
+//	if (x < 3) { ... } else { ... }    // conditionals
+//	for (var i = 0; i < 10; i = i+1)   // loops
+//	while (cond) { ... }
+//	function-valued expressions:       // closures
+//	    var f = function(a, b) { return a + b; };
+//	host builtins:                     // bound by the embedding browser
+//	    fetch("http://..."), setTimeout(1000, function(){...}),
+//	    onEvent("click", "buy", function(){...}), document.write("<img...>")
+package minijs
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"var": true, "function": true, "if": true, "else": true, "for": true,
+	"while": true, "return": true, "true": true, "false": true, "null": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int // byte offset, for error messages
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the source. // and /* */ comments are skipped.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			nl := strings.IndexByte(l.src[l.pos:], '\n')
+			if nl < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += nl + 1
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("minijs: unterminated block comment at %d", l.pos)
+			}
+			l.pos += 2 + end + 2
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("minijs: unterminated string at %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	var n float64
+	fmt.Sscanf(text, "%g", &n)
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, num: n, pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	kind := tokIdent
+	if keywords[text] {
+		kind = tokKeyword
+	}
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: start})
+}
+
+var twoCharPuncts = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+func (l *lexer) lexPunct() error {
+	for _, p := range twoCharPuncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.toks = append(l.toks, token{kind: tokPunct, text: p, pos: l.pos})
+			l.pos += 2
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	if strings.IndexByte("(){};,=+-*/<>.!%", c) >= 0 {
+		l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("minijs: unexpected character %q at %d", c, l.pos)
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '$'
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }

@@ -1,0 +1,79 @@
+package minijs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics on arbitrary input; it either errors or
+// returns a program the interpreter can attempt (bounded by the op budget).
+func TestParseNeverPanicsOnRandomInput(t *testing.T) {
+	f := func(src string) bool {
+		prog, err := Parse(src)
+		if err != nil {
+			return true
+		}
+		in := New()
+		in.maxOps = 20_000
+		_ = in.Run(prog) // runtime errors are fine; panics are not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: token-soup programs built from valid lexemes never panic the
+// parser or interpreter.
+func TestTokenSoupNeverPanics(t *testing.T) {
+	pieces := []string{
+		"var", "x", "=", "1", ";", "(", ")", "{", "}", "function", ",",
+		"if", "else", "for", "while", "return", "+", "-", "*", "/", "<",
+		"==", "&&", `"str"`, "true", "null", "fetch", ".", "document",
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 400; trial++ {
+		var b strings.Builder
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+			b.WriteByte(' ')
+		}
+		prog, err := Parse(b.String())
+		if err != nil {
+			continue
+		}
+		in := New()
+		in.maxOps = 20_000
+		in.BindNative("fetch", func([]Value) (Value, error) { return Null(), nil })
+		in.Bind("document", Namespace(map[string]Value{
+			"write": NativeValue(func([]Value) (Value, error) { return Null(), nil }),
+		}))
+		_ = in.Run(prog)
+	}
+}
+
+// Property: the op budget bounds every program: Ops never exceeds maxOps by
+// more than one step.
+func TestOpBudgetIsHardBound(t *testing.T) {
+	srcs := []string{
+		`while (true) { var x = 1; }`,
+		`for (;;) { }`,
+		`var f = function() { f_ = 1; while (true) { } }; f();`,
+		`var i = 0; while (i < 1000000) { i = i + 1; }`,
+	}
+	for _, src := range srcs {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		in := New()
+		in.maxOps = 5000
+		_ = in.Run(prog)
+		if in.Ops() > in.maxOps+1 {
+			t.Fatalf("ops %d exceeded budget %d for %q", in.Ops(), in.maxOps, src)
+		}
+	}
+}

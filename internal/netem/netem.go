@@ -1,0 +1,138 @@
+// Package netem shapes real network connections the way dummynet shapes the
+// paper's testbed (§7.3): it wraps a net.Conn with one-way latency and a
+// bandwidth cap, so the real-network PARCEL mode can emulate a cellular
+// access link on loopback.
+package netem
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Params describes one direction of shaping.
+type Params struct {
+	// Latency is added one-way delay per chunk.
+	Latency time.Duration
+	// Bps is the bandwidth cap in bytes/second (0 = unlimited).
+	Bps int64
+}
+
+// LTE returns a profile approximating the paper's LTE access: ~39 ms one-way
+// delay (78 ms RTT) and ≈6.75 Mbps.
+func LTE() Params {
+	return Params{Latency: 39 * time.Millisecond, Bps: 6_750_000 / 8}
+}
+
+// chunk is a timed unit of shaped data.
+type chunk struct {
+	releaseAt time.Time
+	data      []byte
+}
+
+// Conn wraps an underlying connection, delaying and rate-limiting the bytes
+// read from it. Writes pass through unshaped — shape both endpoints (or both
+// directions via two wrapped conns) for symmetric emulation.
+type Conn struct {
+	net.Conn
+	p Params
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []chunk
+	buf    []byte // current partially-consumed chunk
+	rerr   error
+	closed bool
+
+	// busyUntil models serialization at the capped rate.
+	busyUntil time.Time
+}
+
+// Wrap shapes reads from conn with p. It spawns a reader goroutine that
+// lives until conn closes.
+func Wrap(conn net.Conn, p Params) *Conn {
+	c := &Conn{Conn: conn, p: p}
+	c.cond = sync.NewCond(&c.mu)
+	go c.pump()
+	return c
+}
+
+// pump moves bytes from the underlying conn into the delay queue.
+func (c *Conn) pump() {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := c.Conn.Read(buf)
+		now := time.Now()
+		c.mu.Lock()
+		if n > 0 {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			release := now.Add(c.p.Latency)
+			if c.p.Bps > 0 {
+				start := now
+				if c.busyUntil.After(start) {
+					start = c.busyUntil
+				}
+				c.busyUntil = start.Add(time.Duration(float64(n) / float64(c.p.Bps) * float64(time.Second)))
+				release = c.busyUntil.Add(c.p.Latency)
+			}
+			c.queue = append(c.queue, chunk{releaseAt: release, data: data})
+		}
+		if err != nil {
+			c.rerr = err
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// Read implements net.Conn with shaped delivery.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if len(c.buf) > 0 {
+			n := copy(p, c.buf)
+			c.buf = c.buf[n:]
+			return n, nil
+		}
+		if len(c.queue) > 0 {
+			head := c.queue[0]
+			wait := time.Until(head.releaseAt)
+			if wait <= 0 {
+				c.queue = c.queue[1:]
+				c.buf = head.data
+				continue
+			}
+			// Sleep outside the lock, then re-check.
+			c.mu.Unlock()
+			time.Sleep(wait)
+			c.mu.Lock()
+			continue
+		}
+		if c.rerr != nil {
+			err := c.rerr
+			if err == io.EOF && c.closed {
+				err = net.ErrClosed
+			}
+			return 0, err
+		}
+		if c.closed {
+			return 0, net.ErrClosed
+		}
+		c.cond.Wait()
+	}
+}
+
+// Close closes the underlying connection and wakes blocked readers.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return c.Conn.Close()
+}

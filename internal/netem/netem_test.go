@@ -1,0 +1,137 @@
+package netem
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a connected TCP pair over loopback.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestLatencyApplied(t *testing.T) {
+	a, b := pipePair(t)
+	shaped := Wrap(b, Params{Latency: 60 * time.Millisecond})
+	start := time.Now()
+	if _, err := a.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(shaped, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 55*time.Millisecond {
+		t.Fatalf("read completed after %v, want >= 60ms latency", elapsed)
+	}
+	if elapsed > 400*time.Millisecond {
+		t.Fatalf("read took %v, far more than the configured latency", elapsed)
+	}
+	if !bytes.Equal(buf, []byte("ping")) {
+		t.Fatalf("payload corrupted: %q", buf)
+	}
+}
+
+func TestBandwidthCap(t *testing.T) {
+	a, b := pipePair(t)
+	const rate = 1 << 20 // 1 MB/s
+	shaped := Wrap(b, Params{Bps: rate})
+	payload := make([]byte, 512<<10) // 512 KB -> ~0.5 s at 1 MB/s
+	go func() {
+		a.Write(payload)
+		a.Close()
+	}()
+	start := time.Now()
+	n, err := io.Copy(io.Discard, shaped)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if n != int64(len(payload)) {
+		t.Fatalf("read %d bytes, want %d", n, len(payload))
+	}
+	if elapsed < 350*time.Millisecond {
+		t.Fatalf("transfer finished in %v, faster than the 1 MB/s cap allows", elapsed)
+	}
+}
+
+func TestDataIntegrityUnderShaping(t *testing.T) {
+	a, b := pipePair(t)
+	shaped := Wrap(b, Params{Latency: 5 * time.Millisecond, Bps: 4 << 20})
+	payload := make([]byte, 200_000)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go func() {
+		for off := 0; off < len(payload); off += 7000 {
+			end := off + 7000
+			if end > len(payload) {
+				end = len(payload)
+			}
+			a.Write(payload[off:end])
+		}
+		a.Close()
+	}()
+	got, err := io.ReadAll(shaped)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("shaped stream corrupted data")
+	}
+}
+
+func TestCloseUnblocksRead(t *testing.T) {
+	_, b := pipePair(t)
+	shaped := Wrap(b, Params{Latency: time.Second})
+	done := make(chan error, 1)
+	go func() {
+		_, err := shaped.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	shaped.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read returned nil after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read did not unblock on close")
+	}
+}
+
+func TestLTEProfile(t *testing.T) {
+	p := LTE()
+	if p.Latency <= 0 || p.Bps <= 0 {
+		t.Fatalf("LTE profile invalid: %+v", p)
+	}
+}

@@ -1,0 +1,200 @@
+package parcelnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/mhtml"
+)
+
+func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }
+
+// Client is the real-network PARCEL client: it opens the single proxy
+// connection, sends the page request, receives pushed bundles into a local
+// object store, and requests still-missing objects after the proxy's
+// completion notification (§4.5). Rendering/JS execution is up to the
+// embedding application (the simulation packages model it; a real deployment
+// would hand the store to a WebView, §5.2).
+type Client struct {
+	conn net.Conn
+	fw   *FrameWriter
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	store    map[string]mhtml.Part
+	order    []string
+	notified bool
+	note     CompleteNote
+	rerr     error
+
+	// BundlesReceived counts pushed bundles.
+	BundlesReceived int
+	// BytesReceived counts MHTML payload bytes received.
+	BytesReceived int64
+	// Fallbacks counts missing-object requests sent.
+	Fallbacks int
+
+	// FirstByteAt and CompleteAt are wall-clock milestones.
+	startedAt  time.Time
+	FirstAt    time.Time
+	CompleteAt time.Time
+}
+
+// Dial connects to a PARCEL proxy. dial may be nil (plain net.Dial) or a
+// shaping dialer (e.g. one that wraps the conn with netem).
+func Dial(addr string, dial func(network, addr string) (net.Conn, error)) (*Client, error) {
+	if dial == nil {
+		dial = net.Dial
+	}
+	conn, err := dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:  conn,
+		fw:    NewFrameWriter(conn),
+		store: make(map[string]mhtml.Part),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.readLoop()
+	return c, nil
+}
+
+// Close closes the proxy connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RequestPage asks the proxy to load url on the client's behalf.
+func (c *Client) RequestPage(url, userAgent, screen string) error {
+	c.mu.Lock()
+	c.startedAt = time.Now()
+	c.mu.Unlock()
+	return c.fw.WriteJSON(TPageRequest, PageRequest{URL: url, UserAgent: userAgent, Screen: screen})
+}
+
+func (c *Client) readLoop() {
+	for {
+		typ, payload, err := ReadFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.rerr = err
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		switch typ {
+		case TBundle, TObjectResponse:
+			parts, err := mhtml.Decode(payload)
+			if err != nil {
+				c.mu.Lock()
+				c.rerr = fmt.Errorf("parcelnet: bad bundle: %w", err)
+				c.cond.Broadcast()
+				c.mu.Unlock()
+				return
+			}
+			c.mu.Lock()
+			if typ == TBundle {
+				c.BundlesReceived++
+			}
+			c.BytesReceived += int64(len(payload))
+			if c.FirstAt.IsZero() {
+				c.FirstAt = time.Now()
+			}
+			for _, p := range parts {
+				if _, dup := c.store[p.URL]; !dup {
+					c.order = append(c.order, p.URL)
+				}
+				c.store[p.URL] = p
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case TComplete:
+			var note CompleteNote
+			if err := jsonUnmarshal(payload, &note); err == nil {
+				c.mu.Lock()
+				c.note = note
+			} else {
+				c.mu.Lock()
+			}
+			c.notified = true
+			c.CompleteAt = time.Now()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Object returns the named object, waiting for it to be pushed. If the
+// completion notification has arrived and the object is still missing, a
+// fallback request is sent to the proxy (once). It fails after timeout.
+func (c *Client) Object(url string, timeout time.Duration) (mhtml.Part, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	requested := false
+	for {
+		if p, ok := c.store[url]; ok {
+			return p, nil
+		}
+		if c.rerr != nil {
+			return mhtml.Part{}, c.rerr
+		}
+		if c.notified && !requested {
+			requested = true
+			c.Fallbacks++
+			go c.fw.WriteJSON(TObjectRequest, ObjectRequest{URL: url})
+		}
+		if time.Now().After(deadline) {
+			return mhtml.Part{}, fmt.Errorf("parcelnet: timeout waiting for %s", url)
+		}
+		c.cond.Wait()
+	}
+}
+
+// WaitComplete blocks until the proxy's completion notification (or timeout).
+func (c *Client) WaitComplete(timeout time.Duration) (CompleteNote, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.notified {
+		if c.rerr != nil {
+			return CompleteNote{}, c.rerr
+		}
+		if time.Now().After(deadline) {
+			return CompleteNote{}, fmt.Errorf("parcelnet: timeout waiting for completion")
+		}
+		c.cond.Wait()
+	}
+	return c.note, nil
+}
+
+// Objects returns the URLs received so far, in arrival order.
+func (c *Client) Objects() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// Has reports whether url has been received.
+func (c *Client) Has(url string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.store[url]
+	return ok
+}

@@ -1,0 +1,274 @@
+package parcelnet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/cssparse"
+	"github.com/parcel-go/parcel/internal/htmlparse"
+	"github.com/parcel-go/parcel/internal/minijs"
+	"github.com/parcel-go/parcel/internal/webgen"
+)
+
+// Object is one crawled object.
+type Object struct {
+	URL         string
+	ContentType string
+	Status      int
+	Body        []byte
+}
+
+// crawler performs the proxy-side object identification of §4.2 over real
+// HTTP: it parses HTML and CSS and executes page JavaScript to discover
+// every object, fetching concurrently on the proxy's fast path.
+type crawler struct {
+	fetch       *OriginFetcher
+	fixedRandom bool
+	maxDepth    int
+	onObject    func(Object) // called once per fetched object
+	onLoad      func()       // all onload-blocking work done
+	onIdle      func()       // all work (including timers) done
+
+	mu              sync.Mutex
+	requested       map[string]bool
+	pendingBlocking int
+	pendingTotal    int
+	onloadFired     bool
+	idleFired       bool
+
+	jsMu sync.Mutex
+	js   *minijs.Interp
+	rng  *rand.Rand
+
+	// jsCtx is the active script context (guarded by jsMu during Run).
+	jsCtx struct {
+		baseURL  string
+		blocking bool
+		depth    int
+	}
+
+	// Errors collects tolerated page errors.
+	errMu  sync.Mutex
+	Errors []error
+}
+
+func newCrawler(fetch *OriginFetcher, fixedRandom bool, onObject func(Object), onLoad, onIdle func()) *crawler {
+	c := &crawler{
+		fetch:       fetch,
+		fixedRandom: fixedRandom,
+		maxDepth:    8,
+		onObject:    onObject,
+		onLoad:      onLoad,
+		onIdle:      onIdle,
+		requested:   make(map[string]bool),
+		js:          minijs.New(),
+		rng:         rand.New(rand.NewSource(int64(webgen.FixedRandValue))),
+	}
+	c.bindBuiltins()
+	return c
+}
+
+// start crawls from the main URL.
+func (c *crawler) start(url string) { c.request(url, true, 0) }
+
+func (c *crawler) addError(err error) {
+	c.errMu.Lock()
+	c.Errors = append(c.Errors, err)
+	c.errMu.Unlock()
+}
+
+// request fetches url once; blocking objects gate the onload callback.
+func (c *crawler) request(url string, blocking bool, depth int) {
+	c.mu.Lock()
+	if c.requested[url] || depth > c.maxDepth {
+		c.mu.Unlock()
+		return
+	}
+	c.requested[url] = true
+	c.pendingTotal++
+	if blocking {
+		c.pendingBlocking++
+	}
+	c.mu.Unlock()
+
+	go func() {
+		body, ct, status, err := c.fetch.Fetch(url)
+		obj := Object{URL: url, ContentType: ct, Status: status, Body: body}
+		if err != nil {
+			c.addError(err)
+			obj.Status = 502
+		}
+		c.onObject(obj)
+		if obj.Status < 400 {
+			c.process(obj, blocking, depth)
+		}
+		c.finish(blocking)
+	}()
+}
+
+func (c *crawler) finish(blocking bool) {
+	c.mu.Lock()
+	c.pendingTotal--
+	var fireLoad, fireIdle bool
+	if blocking {
+		c.pendingBlocking--
+		if c.pendingBlocking == 0 && !c.onloadFired {
+			c.onloadFired = true
+			fireLoad = true
+		}
+	}
+	if c.pendingTotal == 0 && c.onloadFired && !c.idleFired {
+		c.idleFired = true
+		fireIdle = true
+	}
+	c.mu.Unlock()
+	if fireLoad && c.onLoad != nil {
+		c.onLoad()
+	}
+	if fireIdle && c.onIdle != nil {
+		c.onIdle()
+	}
+}
+
+// process discovers what an object references.
+func (c *crawler) process(obj Object, blocking bool, depth int) {
+	switch {
+	case strings.Contains(obj.ContentType, "html"):
+		root, err := htmlparse.Parse(obj.Body)
+		if err != nil {
+			c.addError(fmt.Errorf("parse %s: %w", obj.URL, err))
+			return
+		}
+		for _, res := range htmlparse.Resources(root, obj.URL) {
+			b := blocking && !res.Async
+			c.request(res.URL, b, depth+1)
+		}
+		for _, css := range htmlparse.InlineStyles(root) {
+			for _, u := range cssparse.AssetURLs(css, obj.URL) {
+				c.request(u, blocking, depth+1)
+			}
+		}
+		for _, script := range htmlparse.InlineScripts(root) {
+			c.execScript(script, obj.URL, blocking, depth)
+		}
+	case strings.Contains(obj.ContentType, "css"):
+		for _, ref := range cssparse.Refs(string(obj.Body), obj.URL) {
+			c.request(ref.URL, blocking, depth+1)
+		}
+	case strings.Contains(obj.ContentType, "javascript"):
+		c.execScript(string(obj.Body), obj.URL, blocking, depth)
+	}
+}
+
+// execScript runs page JS under the crawler's interpreter; its fetch/timer
+// builtins feed discovery.
+func (c *crawler) execScript(src, baseURL string, blocking bool, depth int) {
+	prog, err := minijs.Parse(src)
+	if err != nil {
+		c.addError(fmt.Errorf("js parse %s: %w", baseURL, err))
+		return
+	}
+	c.jsMu.Lock()
+	saved := c.jsCtx
+	c.jsCtx.baseURL = baseURL
+	c.jsCtx.blocking = blocking
+	c.jsCtx.depth = depth
+	err = c.js.Run(prog)
+	c.jsCtx = saved
+	c.jsMu.Unlock()
+	if err != nil {
+		c.addError(fmt.Errorf("js run %s: %w", baseURL, err))
+	}
+}
+
+func (c *crawler) bindBuiltins() {
+	fetchFn := func(respectCtx bool) minijs.Native {
+		return func(args []minijs.Value) (minijs.Value, error) {
+			if len(args) < 1 {
+				return minijs.Null(), fmt.Errorf("fetch needs a URL")
+			}
+			u := htmlparse.ResolveURL(c.jsCtx.baseURL, args[0].Str())
+			if u == "" {
+				return minijs.Null(), nil
+			}
+			blocking := respectCtx && c.jsCtx.blocking
+			c.request(u, blocking, c.jsCtx.depth+1)
+			return minijs.Null(), nil
+		}
+	}
+	c.js.BindNative("fetch", fetchFn(true))
+	c.js.BindNative("fetchAsync", fetchFn(false))
+	c.js.BindNative("setTimeout", func(args []minijs.Value) (minijs.Value, error) {
+		if len(args) < 2 {
+			return minijs.Null(), fmt.Errorf("setTimeout needs (ms, fn)")
+		}
+		ms := args[0].Num()
+		fn := args[1].Closure()
+		if fn == nil {
+			return minijs.Null(), fmt.Errorf("setTimeout second arg must be a function")
+		}
+		ctx := c.jsCtx
+		c.mu.Lock()
+		c.pendingTotal++
+		c.mu.Unlock()
+		time.AfterFunc(time.Duration(ms)*time.Millisecond, func() {
+			c.jsMu.Lock()
+			saved := c.jsCtx
+			c.jsCtx = ctx
+			c.jsCtx.blocking = false
+			_, err := c.js.CallClosure(fn)
+			c.jsCtx = saved
+			c.jsMu.Unlock()
+			if err != nil {
+				c.addError(err)
+			}
+			c.finish(false)
+		})
+		return minijs.Null(), nil
+	})
+	c.js.BindNative("onEvent", func(args []minijs.Value) (minijs.Value, error) {
+		return minijs.Null(), nil // handlers run on the client, not the proxy
+	})
+	c.js.BindNative("rand", func(args []minijs.Value) (minijs.Value, error) {
+		n := 1 << 20
+		if len(args) > 0 && args[0].Num() > 0 {
+			n = int(args[0].Num())
+		}
+		if c.fixedRandom {
+			return minijs.Number(webgen.FixedRandValue), nil
+		}
+		return minijs.Number(float64(c.rng.Intn(n))), nil
+	})
+	c.js.BindNative("log", func([]minijs.Value) (minijs.Value, error) { return minijs.Null(), nil })
+	domOp := minijs.NativeValue(func([]minijs.Value) (minijs.Value, error) { return minijs.Null(), nil })
+	c.js.Bind("document", minijs.Namespace(map[string]minijs.Value{
+		"write": minijs.NativeValue(func(args []minijs.Value) (minijs.Value, error) {
+			if len(args) < 1 {
+				return minijs.Null(), nil
+			}
+			root, err := htmlparse.Parse([]byte(args[0].Str()))
+			if err != nil {
+				return minijs.Null(), nil
+			}
+			ctx := c.jsCtx
+			for _, res := range htmlparse.Resources(root, ctx.baseURL) {
+				c.request(res.URL, ctx.blocking && !res.Async, ctx.depth+1)
+			}
+			for _, script := range htmlparse.InlineScripts(root) {
+				// Already under jsMu; run directly in the current context.
+				prog, perr := minijs.Parse(script)
+				if perr != nil {
+					continue
+				}
+				if rerr := c.js.Run(prog); rerr != nil {
+					c.addError(rerr)
+				}
+			}
+			return minijs.Null(), nil
+		}),
+		"append": domOp, "remove": domOp, "show": domOp, "hide": domOp,
+	}))
+}

@@ -1,0 +1,105 @@
+package parcelnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/httpsim"
+)
+
+// Origin is a real HTTP server that serves a replay store. All logical
+// domains of an archive resolve to this one listener: the logical URL is
+// reconstructed from the request's Host header, exactly how the paper's
+// web-page-replay server answers for every recorded domain (§7.3).
+type Origin struct {
+	store httpsim.Store
+	srv   *http.Server
+	ln    net.Listener
+
+	// Requests counts served requests.
+	Requests int64
+}
+
+// StartOrigin serves store on addr ("127.0.0.1:0" for an ephemeral port).
+func StartOrigin(addr string, store httpsim.Store) (*Origin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	o := &Origin{store: store, ln: ln}
+	o.srv = &http.Server{Handler: http.HandlerFunc(o.handle), ReadHeaderTimeout: 5 * time.Second}
+	go o.srv.Serve(ln)
+	return o, nil
+}
+
+// Addr returns the listener address.
+func (o *Origin) Addr() string { return o.ln.Addr().String() }
+
+// Close shuts the server down.
+func (o *Origin) Close() error { return o.srv.Close() }
+
+func (o *Origin) handle(w http.ResponseWriter, r *http.Request) {
+	o.Requests++
+	logical := "http://" + r.Host + r.URL.RequestURI()
+	obj, ok := o.store.Get(logical)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if obj.ContentType != "" {
+		w.Header().Set("Content-Type", obj.ContentType)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(obj.Body)))
+	status := obj.Status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	w.WriteHeader(status)
+	w.Write(obj.Body)
+}
+
+// OriginFetcher fetches logical URLs (http://domain/path) by connecting to a
+// fixed origin address and carrying the logical domain in the Host header —
+// the real-network stand-in for DNS resolution onto the replay server.
+type OriginFetcher struct {
+	OriginAddr string
+	Client     *http.Client
+}
+
+// NewOriginFetcher builds a fetcher against the origin at addr.
+func NewOriginFetcher(addr string) *OriginFetcher {
+	return &OriginFetcher{
+		OriginAddr: addr,
+		Client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 6,
+				MaxConnsPerHost:     6,
+			},
+		},
+	}
+}
+
+// Fetch retrieves a logical URL, returning the body and content type.
+func (f *OriginFetcher) Fetch(logicalURL string) (body []byte, contentType string, status int, err error) {
+	domain, path := httpsim.SplitURL(logicalURL)
+	req, err := http.NewRequest(http.MethodGet, "http://"+f.OriginAddr+path, nil)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	req.Host = domain
+	resp, err := f.Client.Do(req)
+	if err != nil {
+		return nil, "", 0, fmt.Errorf("fetch %s: %w", logicalURL, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	return data, resp.Header.Get("Content-Type"), resp.StatusCode, nil
+}

@@ -1,0 +1,245 @@
+package parcelnet
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/httpsim"
+	"github.com/parcel-go/parcel/internal/netem"
+	"github.com/parcel-go/parcel/internal/replay"
+	"github.com/parcel-go/parcel/internal/sched"
+)
+
+// testArchive builds a small page with every discovery mechanism: HTML refs,
+// CSS url(), sync JS fetch, a short timer ad, and a randomized URL.
+func testArchive() (*replay.Archive, string) {
+	const main = "http://www.shop.test/index.html"
+	a := replay.NewArchive()
+	rec := func(url, ct, body string) {
+		a.Record(httpsim.Object{URL: url, ContentType: ct, Body: []byte(body)})
+	}
+	rec(main, "text/html", `<!DOCTYPE html><html><head>
+<link rel="stylesheet" href="/main.css">
+<script src="http://cdn.shop.test/app.js"></script>
+</head><body>
+<script>
+setTimeout(120, function() { fetch("http://ads.test/late.png"); });
+fetch("http://ads.test/pixel?r=" + rand(10));
+</script>
+<img src="/hero.jpg">
+</body></html>`)
+	rec("http://www.shop.test/main.css", "text/css", `body { background: url(/bg.png); }`)
+	rec("http://www.shop.test/bg.png", "image/png", strings.Repeat("B", 4000))
+	rec("http://www.shop.test/hero.jpg", "image/jpeg", strings.Repeat("H", 9000))
+	rec("http://cdn.shop.test/app.js", "application/javascript", `fetch("http://cdn.shop.test/dyn.png");`)
+	rec("http://cdn.shop.test/dyn.png", "image/png", strings.Repeat("D", 2500))
+	rec("http://ads.test/late.png", "image/png", strings.Repeat("L", 1200))
+	rec("http://ads.test/pixel?r=4", "image/gif", "PIX")
+	return a, main
+}
+
+// startStack brings up origin + proxy and returns the proxy address plus a
+// cleanup-registered origin.
+func startStack(t *testing.T, cfg sched.Config) (proxyAddr, mainURL string, archive *replay.Archive) {
+	t.Helper()
+	archive, mainURL = testArchive()
+	origin, err := StartOrigin("127.0.0.1:0", replay.Rewriting{Store: archive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { origin.Close() })
+	proxy, err := StartProxy("127.0.0.1:0", ProxyConfig{
+		OriginAddr:  origin.Addr(),
+		Sched:       cfg,
+		QuietPeriod: 300 * time.Millisecond,
+		FixedRandom: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	return proxy.Addr(), mainURL, archive
+}
+
+func TestEndToEndPageLoad(t *testing.T) {
+	proxyAddr, mainURL, archive := startStack(t, sched.ConfigIND)
+	client, err := Dial(proxyAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.RequestPage(mainURL, "parcel-test/1.0", "720x1280"); err != nil {
+		t.Fatal(err)
+	}
+	note, err := client.WaitComplete(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if note.ObjectsPushed != archive.Len() {
+		t.Fatalf("pushed %d objects, archive has %d (received: %v)",
+			note.ObjectsPushed, archive.Len(), client.Objects())
+	}
+	// Every archived object arrived, byte-exact.
+	for _, u := range archive.URLs() {
+		p, err := client.Object(u, time.Second)
+		if err != nil {
+			t.Fatalf("missing %s: %v", u, err)
+		}
+		want, _ := archive.Get(u)
+		if !bytes.Equal(p.Body, want.Body) {
+			t.Fatalf("object %s corrupted in transit", u)
+		}
+	}
+	if client.Fallbacks != 0 {
+		t.Fatalf("fallbacks = %d, want 0 under replay rewrite", client.Fallbacks)
+	}
+}
+
+func TestONLDBundlesFewer(t *testing.T) {
+	run := func(cfg sched.Config) int {
+		proxyAddr, mainURL, _ := startStack(t, cfg)
+		client, err := Dial(proxyAddr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		client.RequestPage(mainURL, "", "")
+		if _, err := client.WaitComplete(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return client.BundlesReceived
+	}
+	ind := run(sched.ConfigIND)
+	onld := run(sched.ConfigONLD)
+	if onld >= ind {
+		t.Fatalf("ONLD bundles %d >= IND bundles %d", onld, ind)
+	}
+}
+
+func TestFallbackFetchesUnknownObject(t *testing.T) {
+	proxyAddr, mainURL, archive := startStack(t, sched.ConfigIND)
+	// An object the page never references, but the archive serves.
+	archive.Record(httpsim.Object{URL: "http://www.shop.test/secret.txt", ContentType: "text/plain", Body: []byte("s3cret")})
+	client, err := Dial(proxyAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.RequestPage(mainURL, "", "")
+	if _, err := client.WaitComplete(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.Object("http://www.shop.test/secret.txt", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Body) != "s3cret" {
+		t.Fatalf("fallback body = %q", p.Body)
+	}
+	if client.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", client.Fallbacks)
+	}
+}
+
+func TestMissingObjectTimesOutWith404(t *testing.T) {
+	proxyAddr, mainURL, _ := startStack(t, sched.ConfigIND)
+	client, err := Dial(proxyAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.RequestPage(mainURL, "", "")
+	client.WaitComplete(10 * time.Second)
+	p, err := client.Object("http://www.shop.test/never-existed", 5*time.Second)
+	// The proxy fetches it, the origin 404s, and the client receives the
+	// 404 part (not a timeout) — pages must not stall on missing objects.
+	if err != nil {
+		t.Fatalf("expected 404 part, got error %v", err)
+	}
+	if p.Status != 404 {
+		t.Fatalf("status = %d, want 404", p.Status)
+	}
+}
+
+func TestShapedDialStillCorrect(t *testing.T) {
+	proxyAddr, mainURL, archive := startStack(t, sched.Config512K)
+	shaped := func(network, addr string) (net.Conn, error) {
+		conn, err := net.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return netem.Wrap(conn, netem.Params{Latency: 10 * time.Millisecond, Bps: 2 << 20}), nil
+	}
+	client, err := Dial(proxyAddr, shaped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	client.RequestPage(mainURL, "", "")
+	if _, err := client.WaitComplete(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(client.Objects()) != archive.Len() {
+		t.Fatalf("received %d objects, want %d", len(client.Objects()), archive.Len())
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("shaping had no effect at all")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 0, 255}
+	if err := WriteFrame(&buf, TBundle, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TBundle || !bytes.Equal(got, payload) {
+		t.Fatalf("frame round-trip: typ=%d payload=%v", typ, got)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{TBundle, 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	if err := WriteFrame(&buf, TBundle, make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("oversize write accepted")
+	}
+}
+
+func TestProxyRequiresOrigin(t *testing.T) {
+	if _, err := StartProxy("127.0.0.1:0", ProxyConfig{}); err == nil {
+		t.Fatal("proxy started without origin")
+	}
+}
+
+func TestOriginServesByHostHeader(t *testing.T) {
+	archive, _ := testArchive()
+	origin, err := StartOrigin("127.0.0.1:0", archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	f := NewOriginFetcher(origin.Addr())
+	body, ct, status, err := f.Fetch("http://cdn.shop.test/app.js")
+	if err != nil || status != 200 {
+		t.Fatalf("fetch: %v status=%d", err, status)
+	}
+	if !strings.Contains(string(body), "dyn.png") || !strings.Contains(ct, "javascript") {
+		t.Fatalf("wrong object: ct=%q body=%q", ct, body)
+	}
+	_, _, status, err = f.Fetch("http://cdn.shop.test/nope")
+	if err != nil || status != 404 {
+		t.Fatalf("missing object: %v status=%d", err, status)
+	}
+}

@@ -1,0 +1,250 @@
+package parcelnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/mhtml"
+	"github.com/parcel-go/parcel/internal/sched"
+)
+
+// ProxyConfig tunes the real-network PARCEL proxy.
+type ProxyConfig struct {
+	// OriginAddr is where every logical domain is served (the replay
+	// origin); production deployments would resolve DNS instead.
+	OriginAddr string
+	// Sched is the bundle schedule.
+	Sched sched.Config
+	// QuietPeriod is the §4.5 completion heuristic window.
+	QuietPeriod time.Duration
+	// FixedRandom applies the §7.3 replay rewrite in page JS.
+	FixedRandom bool
+	// Logf, when set, receives diagnostic lines.
+	Logf func(format string, args ...any)
+}
+
+// Proxy is a running real-network PARCEL proxy.
+type Proxy struct {
+	cfg ProxyConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	sessions int
+}
+
+// StartProxy listens on addr and serves PARCEL sessions.
+func StartProxy(addr string, cfg ProxyConfig) (*Proxy, error) {
+	if cfg.OriginAddr == "" {
+		return nil, fmt.Errorf("parcelnet: ProxyConfig.OriginAddr required")
+	}
+	if cfg.QuietPeriod == 0 {
+		cfg.QuietPeriod = 2 * time.Second
+	}
+	if err := cfg.Sched.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, ln: ln}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting sessions.
+func (p *Proxy) Close() error { return p.ln.Close() }
+
+// Sessions returns the number of sessions served so far.
+func (p *Proxy) Sessions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sessions
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.sessions++
+		p.mu.Unlock()
+		go p.serve(conn)
+	}
+}
+
+// session is the per-connection proxy state.
+type session struct {
+	proxy *Proxy
+	fw    *FrameWriter
+
+	mu           sync.Mutex
+	bundler      *sched.Bundler
+	cache        map[string]Object
+	quiet        *time.Timer
+	onloadSeen   bool
+	completeSent bool
+	pushed       int
+	pushedBytes  int64
+
+	fetch *OriginFetcher
+}
+
+func (p *Proxy) serve(conn net.Conn) {
+	defer conn.Close()
+	s := &session{
+		proxy: p,
+		fw:    NewFrameWriter(conn),
+		cache: make(map[string]Object),
+		fetch: NewOriginFetcher(p.cfg.OriginAddr),
+	}
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case TPageRequest:
+			var req PageRequest
+			if err := json.Unmarshal(payload, &req); err != nil {
+				p.cfg.Logf("bad page request: %v", err)
+				return
+			}
+			s.startPage(req)
+		case TObjectRequest:
+			var req ObjectRequest
+			if err := json.Unmarshal(payload, &req); err != nil {
+				p.cfg.Logf("bad object request: %v", err)
+				return
+			}
+			go s.serveFallback(req.URL)
+		default:
+			p.cfg.Logf("unexpected frame type %d", typ)
+		}
+	}
+}
+
+func (s *session) startPage(req PageRequest) {
+	cfg := s.proxy.cfg
+	cfg.Logf("page request: %s (ua=%q)", req.URL, req.UserAgent)
+	s.mu.Lock()
+	s.bundler = sched.NewBundler(cfg.Sched, s.flushLocked)
+	s.mu.Unlock()
+
+	crawl := newCrawler(s.fetch, cfg.FixedRandom,
+		func(obj Object) { s.collect(obj) },
+		func() { s.onLoad() },
+		func() { /* completion handled by the quiet heuristic */ },
+	)
+	crawl.start(req.URL)
+}
+
+// collect feeds one crawled object into the schedule and resets the §4.5
+// inactivity window.
+func (s *session) collect(obj Object) {
+	s.mu.Lock()
+	s.cache[obj.URL] = obj
+	if s.completeSent {
+		s.mu.Unlock()
+		s.push([]sched.Item{itemFromObject(obj)}, sched.FlushComplete)
+		return
+	}
+	s.bundler.Add(itemFromObject(obj))
+	if s.onloadSeen {
+		s.armQuietLocked()
+	}
+	s.mu.Unlock()
+}
+
+func (s *session) onLoad() {
+	s.mu.Lock()
+	s.onloadSeen = true
+	s.bundler.OnLoad()
+	s.armQuietLocked()
+	s.mu.Unlock()
+}
+
+func (s *session) armQuietLocked() {
+	if s.quiet != nil {
+		s.quiet.Stop()
+	}
+	s.quiet = time.AfterFunc(s.proxy.cfg.QuietPeriod, s.declareComplete)
+}
+
+func (s *session) declareComplete() {
+	s.mu.Lock()
+	if s.completeSent {
+		s.mu.Unlock()
+		return
+	}
+	s.completeSent = true
+	s.bundler.Complete()
+	note := CompleteNote{ObjectsPushed: s.pushed, BytesPushed: s.pushedBytes}
+	s.mu.Unlock()
+	if err := s.fw.WriteJSON(TComplete, note); err != nil {
+		s.proxy.cfg.Logf("send complete: %v", err)
+	}
+}
+
+func itemFromObject(o Object) sched.Item {
+	return sched.Item{URL: o.URL, ContentType: o.ContentType, Status: o.Status, Body: o.Body}
+}
+
+// flushLocked transmits one bundle; the bundler invokes it with s.mu held.
+func (s *session) flushLocked(items []sched.Item, reason sched.FlushReason) {
+	s.pushed += len(items)
+	for _, it := range items {
+		s.pushedBytes += int64(len(it.Body))
+	}
+	// Encode and write outside the lock via goroutine-safe FrameWriter;
+	// ordering is preserved because flushes happen under s.mu in order and
+	// the encode below is done before releasing... encoding is cheap enough
+	// to do inline.
+	parts := make([]mhtml.Part, len(items))
+	for i, it := range items {
+		parts[i] = mhtml.Part{URL: it.URL, ContentType: it.ContentType, Status: it.Status, Body: it.Body}
+	}
+	if err := s.fw.Write(TBundle, mhtml.Encode(parts)); err != nil {
+		s.proxy.cfg.Logf("send bundle: %v", err)
+	}
+}
+
+// push sends items outside the bundler path (post-completion stragglers).
+func (s *session) push(items []sched.Item, reason sched.FlushReason) {
+	s.mu.Lock()
+	s.flushLocked(items, reason)
+	s.mu.Unlock()
+}
+
+// serveFallback answers a missing-object request from cache or the origin.
+func (s *session) serveFallback(url string) {
+	s.mu.Lock()
+	obj, ok := s.cache[url]
+	s.mu.Unlock()
+	if !ok {
+		body, ct, status, err := s.fetch.Fetch(url)
+		if err != nil {
+			s.proxy.cfg.Logf("fallback fetch %s: %v", url, err)
+			status = 502
+		}
+		obj = Object{URL: url, ContentType: ct, Status: status, Body: body}
+		s.mu.Lock()
+		s.cache[url] = obj
+		s.mu.Unlock()
+	}
+	enc := mhtml.Encode([]mhtml.Part{{URL: obj.URL, ContentType: obj.ContentType, Status: obj.Status, Body: obj.Body}})
+	if err := s.fw.Write(TObjectResponse, enc); err != nil {
+		s.proxy.cfg.Logf("send object response: %v", err)
+	}
+}

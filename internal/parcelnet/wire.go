@@ -1,0 +1,109 @@
+// Package parcelnet is the real-network implementation of PARCEL: a proxy
+// and client speaking a framed bundle protocol over real TCP connections,
+// plus an HTTP origin server that serves replay archives. It is the
+// deployable counterpart of the simulated internal/core — same split of
+// functionality (proxy-side object identification and push, client-side
+// local execution), running over net.Conn with optional netem shaping.
+package parcelnet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Frame types.
+const (
+	TPageRequest byte = iota + 1
+	TBundle           // payload: MHTML bundle
+	TComplete         // payload: JSON CompleteNote
+	TObjectRequest
+	TObjectResponse // payload: MHTML bundle with one part
+)
+
+// maxFrame bounds a frame payload (64 MB) against corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// PageRequest asks the proxy to load a page.
+type PageRequest struct {
+	URL       string `json:"url"`
+	UserAgent string `json:"user_agent,omitempty"`
+	Screen    string `json:"screen,omitempty"`
+}
+
+// CompleteNote is the §4.5 completion notification.
+type CompleteNote struct {
+	ObjectsPushed int   `json:"objects_pushed"`
+	BytesPushed   int64 `json:"bytes_pushed"`
+}
+
+// ObjectRequest is the client's missing-object fallback.
+type ObjectRequest struct {
+	URL string `json:"url"`
+}
+
+// WriteFrame writes one framed message: [type][uint32 length][payload].
+// It is safe for concurrent use per writer via the caller's lock; use
+// a FrameWriter for built-in locking.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("parcelnet: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one framed message.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ = hdr[0]
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("parcelnet: frame length %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// FrameWriter serializes concurrent frame writes onto one connection.
+type FrameWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewFrameWriter wraps w.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// Write sends one frame atomically.
+func (fw *FrameWriter) Write(typ byte, payload []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return WriteFrame(fw.w, typ, payload)
+}
+
+// WriteJSON marshals v and sends it as a frame of the given type.
+func (fw *FrameWriter) WriteJSON(typ byte, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return fw.Write(typ, data)
+}
+
+// dialFunc abstracts net.Dial for netem-shaped connections in tests.
+type dialFunc func(network, addr string) (net.Conn, error)

@@ -1,0 +1,391 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultLTE().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlphaCalibration(t *testing.T) {
+	// The paper derives α = 0.74 from its LTE measurements (§6); our default
+	// parameters are calibrated to reproduce it closely.
+	a := DefaultLTE().Alpha()
+	if a < 0.70 || a > 0.78 {
+		t.Fatalf("Alpha = %v, want ≈ 0.74", a)
+	}
+}
+
+func TestAlphaDegenerate(t *testing.T) {
+	p := DefaultLTE()
+	p.PowerLongDRX = 0
+	if got := p.Alpha(); got != 0 {
+		t.Fatalf("Alpha with zero LDRX power = %v, want 0", got)
+	}
+}
+
+func TestValidateRejectsBadHierarchy(t *testing.T) {
+	p := DefaultLTE()
+	p.PowerShortDRX = p.PowerCR + 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted SDRX > CR")
+	}
+}
+
+func TestValidateRejectsZeroTimers(t *testing.T) {
+	p := DefaultLTE()
+	p.CRTail = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted zero CR tail")
+	}
+}
+
+func TestEmptyTraceAllIdle(t *testing.T) {
+	p := DefaultLTE()
+	r := Simulate(nil, p, 10*time.Second)
+	if len(r.Intervals) != 1 || r.Intervals[0].State != Idle {
+		t.Fatalf("intervals = %+v, want one IDLE interval", r.Intervals)
+	}
+	wantE := p.PowerIdle / 1000 * 10
+	if math.Abs(r.TotalEnergy-wantE) > 1e-9 {
+		t.Fatalf("TotalEnergy = %v, want %v", r.TotalEnergy, wantE)
+	}
+	if r.Transitions != 0 {
+		t.Fatalf("Transitions = %d, want 0", r.Transitions)
+	}
+}
+
+func TestSingleActivitySequence(t *testing.T) {
+	p := DefaultLTE()
+	r := Simulate([]Activity{{At: time.Second, Bytes: 1500}}, p, 0)
+	// Expected: IDLE [0,1s), PROMO [1s, 1.26s), CR tail, SDRX, LDRX.
+	want := []State{Idle, Promotion, CR, ShortDRX, LongDRX}
+	if len(r.Intervals) != len(want) {
+		t.Fatalf("got %d intervals %+v, want %d", len(r.Intervals), r.Intervals, len(want))
+	}
+	for i, s := range want {
+		if r.Intervals[i].State != s {
+			t.Fatalf("interval %d state = %v, want %v (%+v)", i, r.Intervals[i].State, s, r.Intervals)
+		}
+	}
+	if r.TimeInState[CR] != p.CRTail {
+		t.Errorf("CR time = %v, want %v", r.TimeInState[CR], p.CRTail)
+	}
+	if r.TimeInState[ShortDRX] != p.ShortDRXTail {
+		t.Errorf("SDRX time = %v, want %v", r.TimeInState[ShortDRX], p.ShortDRXTail)
+	}
+	if r.TimeInState[LongDRX] != p.LongDRXTail {
+		t.Errorf("LDRX time = %v, want %v", r.TimeInState[LongDRX], p.LongDRXTail)
+	}
+	if r.Transitions != 1 { // CR -> SDRX
+		t.Errorf("Transitions = %d, want 1", r.Transitions)
+	}
+}
+
+func TestBackToBackActivityStaysInCR(t *testing.T) {
+	p := DefaultLTE()
+	var acts []Activity
+	for i := 0; i < 100; i++ {
+		acts = append(acts, Activity{At: time.Duration(i) * ms(50) / 50 * 50, Bytes: 1500})
+	}
+	// 100 activities 50ms apart: all gaps < CRTail (200ms), so exactly one
+	// CR interval and one demotion tail.
+	acts = acts[:0]
+	for i := 0; i < 100; i++ {
+		acts = append(acts, Activity{At: time.Duration(i) * ms(50), Bytes: 1500})
+	}
+	r := Simulate(acts, p, 0)
+	crCount := 0
+	for _, iv := range r.Intervals {
+		if iv.State == CR {
+			crCount++
+		}
+	}
+	if crCount != 1 {
+		t.Fatalf("CR intervals = %d, want 1 (%+v)", crCount, r.Intervals)
+	}
+	if r.Transitions != 1 {
+		t.Fatalf("Transitions = %d, want 1", r.Transitions)
+	}
+	// CR runs from the end of the initial promotion through the last
+	// activity (at 4950 ms) plus the CR tail.
+	wantCR := 99*ms(50) - p.PromotionDelay + p.CRTail
+	if r.TimeInState[CR] != wantCR {
+		t.Fatalf("CR time = %v, want %v", r.TimeInState[CR], wantCR)
+	}
+}
+
+func TestGapIntoShortDRXPromotesBack(t *testing.T) {
+	p := DefaultLTE()
+	// Second activity 300ms after CR entry: inside the SDRX window
+	// (200..600ms after the last CR activity).
+	r := Simulate([]Activity{{At: 0}, {At: p.PromotionDelay + ms(300)}}, p, 0)
+	// Expect: PROMO, CR, SDRX (partial), CR, SDRX, LDRX.
+	var states []State
+	for _, iv := range r.Intervals {
+		states = append(states, iv.State)
+	}
+	want := []State{Promotion, CR, ShortDRX, CR, ShortDRX, LongDRX}
+	if len(states) != len(want) {
+		t.Fatalf("states = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("states = %v, want %v", states, want)
+		}
+	}
+	if r.Transitions != 3 { // CR->SDRX, SDRX->CR, CR->SDRX
+		t.Fatalf("Transitions = %d, want 3", r.Transitions)
+	}
+}
+
+func TestGapIntoLongDRXPromotesBack(t *testing.T) {
+	p := DefaultLTE()
+	gap := p.PromotionDelay + p.CRTail + p.ShortDRXTail + time.Second // lands in LDRX
+	r := Simulate([]Activity{{At: 0}, {At: gap}}, p, 0)
+	foundLDRXBeforeCR := false
+	for i := 1; i < len(r.Intervals); i++ {
+		if r.Intervals[i-1].State == LongDRX && r.Intervals[i].State == CR {
+			foundLDRXBeforeCR = true
+		}
+	}
+	if !foundLDRXBeforeCR {
+		t.Fatalf("no LDRX→CR promotion found: %+v", r.Intervals)
+	}
+}
+
+func TestGapToIdleRequiresPromotion(t *testing.T) {
+	p := DefaultLTE()
+	gap := p.PromotionDelay + p.tailTotal() + 5*time.Second
+	r := Simulate([]Activity{{At: 0}, {At: gap}}, p, 0)
+	promos := 0
+	for _, iv := range r.Intervals {
+		if iv.State == Promotion {
+			promos++
+		}
+	}
+	if promos != 2 {
+		t.Fatalf("promotions = %d, want 2 (%+v)", promos, r.Intervals)
+	}
+	if r.EnergyByState[Promotion] <= 0 {
+		t.Fatal("no promotion energy accounted")
+	}
+}
+
+func TestHorizonTruncatesTail(t *testing.T) {
+	p := DefaultLTE()
+	r := Simulate([]Activity{{At: 0}}, p, p.PromotionDelay+ms(100))
+	last := r.Intervals[len(r.Intervals)-1]
+	if last.State != CR || last.End != p.PromotionDelay+ms(100) {
+		t.Fatalf("last interval = %+v, want CR ending at horizon", last)
+	}
+}
+
+func TestUnsortedActivitiesAreSorted(t *testing.T) {
+	p := DefaultLTE()
+	a := Simulate([]Activity{{At: ms(100)}, {At: 0}}, p, 0)
+	b := Simulate([]Activity{{At: 0}, {At: ms(100)}}, p, 0)
+	if a.TotalEnergy != b.TotalEnergy || len(a.Intervals) != len(b.Intervals) {
+		t.Fatal("unsorted input produced different result")
+	}
+}
+
+func TestNegativeActivityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative activity time did not panic")
+		}
+	}()
+	Simulate([]Activity{{At: -1}}, DefaultLTE(), 0)
+}
+
+func TestTransferEnergyScalesWithBytes(t *testing.T) {
+	p := DefaultLTE()
+	small := Simulate([]Activity{{At: 0, Bytes: 1000}}, p, 0)
+	big := Simulate([]Activity{{At: 0, Bytes: 2000}}, p, 0)
+	if big.TransferEnergy <= small.TransferEnergy {
+		t.Fatal("transfer energy not increasing in bytes")
+	}
+	if got, want := big.TransferEnergy-small.TransferEnergy, 1000*p.EnergyPerByte*1e-6; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("marginal transfer energy = %v, want %v", got, want)
+	}
+}
+
+func TestEnergyUpToMonotone(t *testing.T) {
+	p := DefaultLTE()
+	r := Simulate([]Activity{{At: 0}, {At: time.Second}, {At: 3 * time.Second}}, p, 0)
+	prev := -1.0
+	for t0 := time.Duration(0); t0 < r.Horizon; t0 += 100 * time.Millisecond {
+		e := r.EnergyUpTo(t0)
+		if e < prev {
+			t.Fatalf("EnergyUpTo not monotone at %v: %v < %v", t0, e, prev)
+		}
+		prev = e
+	}
+	full := r.EnergyUpTo(r.Horizon + time.Hour)
+	var sum float64
+	for _, e := range r.EnergyByState {
+		sum += e
+	}
+	if math.Abs(full-sum) > 1e-9 {
+		t.Fatalf("EnergyUpTo(∞) = %v, want %v", full, sum)
+	}
+}
+
+func TestStateAt(t *testing.T) {
+	p := DefaultLTE()
+	r := Simulate([]Activity{{At: 0}}, p, 0)
+	if s := r.StateAt(p.PromotionDelay / 2); s != Promotion {
+		t.Fatalf("StateAt(mid-promo) = %v", s)
+	}
+	if s := r.StateAt(p.PromotionDelay + p.CRTail/2); s != CR {
+		t.Fatalf("StateAt(mid-CR) = %v", s)
+	}
+	if s := r.StateAt(r.Horizon + time.Hour); s != Idle {
+		t.Fatalf("StateAt(after end) = %v", s)
+	}
+}
+
+// Property: intervals are contiguous, non-overlapping, start at 0, and cover
+// the horizon exactly; the demotion sequence ordering is always legal.
+func TestIntervalContiguityProperty(t *testing.T) {
+	p := DefaultLTE()
+	rng := rand.New(rand.NewSource(11))
+	legalNext := map[State][]State{
+		Idle:      {Promotion},
+		Promotion: {CR},
+		CR:        {ShortDRX, CR},
+		ShortDRX:  {LongDRX, CR},
+		LongDRX:   {Idle, CR},
+	}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(60)
+		acts := make([]Activity, n)
+		t0 := time.Duration(0)
+		for i := range acts {
+			t0 += time.Duration(rng.Intn(4000)) * time.Millisecond
+			acts[i] = Activity{At: t0, Bytes: rng.Intn(3000)}
+		}
+		r := Simulate(acts, p, 0)
+		if len(r.Intervals) == 0 {
+			t.Fatal("no intervals")
+		}
+		if r.Intervals[0].Start != 0 && acts[0].At != 0 {
+			t.Fatalf("first interval starts at %v", r.Intervals[0].Start)
+		}
+		for i, iv := range r.Intervals {
+			if iv.End <= iv.Start {
+				t.Fatalf("empty/negative interval %+v", iv)
+			}
+			if i > 0 {
+				prev := r.Intervals[i-1]
+				if prev.End != iv.Start {
+					t.Fatalf("gap between %+v and %+v", prev, iv)
+				}
+				ok := false
+				for _, s := range legalNext[prev.State] {
+					if iv.State == s {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("illegal transition %v -> %v", prev.State, iv.State)
+				}
+			}
+		}
+		if last := r.Intervals[len(r.Intervals)-1]; last.End != r.Horizon {
+			t.Fatalf("intervals end %v != horizon %v", last.End, r.Horizon)
+		}
+		// Occupancy sums to horizon minus leading idle-free start offset.
+		var sum time.Duration
+		for _, d := range r.TimeInState {
+			sum += d
+		}
+		if sum != r.Horizon-r.Intervals[0].Start {
+			t.Fatalf("occupancy %v != horizon span %v", sum, r.Horizon-r.Intervals[0].Start)
+		}
+	}
+}
+
+// Property: adding activity never decreases total energy (more activity, more
+// CR time, more transfer energy) when the horizon is fixed and long.
+func TestEnergyMonotoneInActivityProperty(t *testing.T) {
+	p := DefaultLTE()
+	rng := rand.New(rand.NewSource(5))
+	horizon := 120 * time.Second
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(30)
+		acts := make([]Activity, 0, n)
+		t0 := time.Duration(0)
+		for i := 0; i < n; i++ {
+			t0 += time.Duration(rng.Intn(3000)) * time.Millisecond
+			acts = append(acts, Activity{At: t0, Bytes: 1500})
+		}
+		base := Simulate(acts, p, horizon)
+		// Add one more activity somewhere inside the window.
+		extra := append(append([]Activity(nil), acts...), Activity{At: t0 + time.Duration(rng.Intn(5000))*time.Millisecond, Bytes: 1500})
+		more := Simulate(extra, p, horizon)
+		if more.TotalEnergy < base.TotalEnergy-1e-9 {
+			t.Fatalf("energy decreased when adding activity: %v -> %v", base.TotalEnergy, more.TotalEnergy)
+		}
+	}
+}
+
+// Property: bundled transfers (same bytes, fewer bursts) never cost more
+// radio energy than widely spaced transfers — the paper's core energy claim.
+func TestBundlingSavesEnergyProperty(t *testing.T) {
+	p := DefaultLTE()
+	horizon := 200 * time.Second
+	for _, gap := range []time.Duration{ms(700), ms(1500), 3 * time.Second, 8 * time.Second} {
+		var spread []Activity
+		for i := 0; i < 20; i++ {
+			spread = append(spread, Activity{At: time.Duration(i) * gap, Bytes: 50_000})
+		}
+		bundled := []Activity{{At: 0, Bytes: 20 * 50_000}}
+		eSpread := Simulate(spread, p, horizon).TotalEnergy
+		eBundled := Simulate(bundled, p, horizon).TotalEnergy
+		if eBundled >= eSpread {
+			t.Fatalf("gap %v: bundled %vJ >= spread %vJ", gap, eBundled, eSpread)
+		}
+	}
+}
+
+func TestOptimalBundleSizeMatchesPaper(t *testing.T) {
+	// §6: for a 2 MB page at 6 Mbps with α = 0.74, b* ≈ 0.9 MB.
+	p := DefaultLTE()
+	s := 6e6 / 8           // bytes/sec
+	B := 2 * 1024.0 * 1024 // bytes
+	bStar := p.Alpha() * math.Sqrt(s*B)
+	if bStar < 800e3 || bStar > 1000e3 {
+		t.Fatalf("b* = %v bytes, want ≈ 0.9 MB", bStar)
+	}
+}
+
+func TestStateStringer(t *testing.T) {
+	if CR.String() != "CR" || Idle.String() != "IDLE" || ShortDRX.String() != "SDRX" {
+		t.Fatal("state names wrong")
+	}
+	if State(99).String() == "" {
+		t.Fatal("out-of-range state produced empty string")
+	}
+}
+
+func BenchmarkSimulate1kActivities(b *testing.B) {
+	p := DefaultLTE()
+	acts := make([]Activity, 1000)
+	for i := range acts {
+		acts[i] = Activity{At: time.Duration(i) * 37 * time.Millisecond, Bytes: 1460}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(acts, p, 0)
+	}
+}

@@ -1,0 +1,151 @@
+// Package scenario wires the simulated evaluation topology of §7: a mobile
+// client on a production-like LTE access (high RTT, moderate bandwidth,
+// optional signal jitter), a well-provisioned proxy on a wired path, a DNS
+// server, and one origin host per page domain — either a replay server
+// colocated behind a fixed proxy↔server delay (the paper's
+// web-page-replay + dummynet setup, §7.3) or "real" origins with
+// heterogeneous per-domain delays (§8.4).
+package scenario
+
+import (
+	"time"
+
+	"github.com/parcel-go/parcel/internal/dnssim"
+	"github.com/parcel-go/parcel/internal/eventsim"
+	"github.com/parcel-go/parcel/internal/httpsim"
+	"github.com/parcel-go/parcel/internal/simnet"
+	"github.com/parcel-go/parcel/internal/trace"
+	"github.com/parcel-go/parcel/internal/webgen"
+)
+
+// Params describes one experiment topology.
+type Params struct {
+	Seed int64
+
+	// LTE access characteristics (defaults follow §2.3/§8.3: RTT 70–86 ms,
+	// observed download speeds 4–8 Mbps with median 6).
+	LTERTT     time.Duration
+	LTEDownBps int64
+	LTEUpBps   int64
+	LTEJitter  time.Duration
+
+	// Wired swaps the client's access link for a wire-line profile (the
+	// Figure 3 comparison).
+	Wired        bool
+	WiredRTT     time.Duration
+	WiredDownBps int64
+	WiredUpBps   int64
+
+	// ProxyOriginRTT is the dummynet-emulated proxy↔server delay
+	// (20 ms default; 60 ms for the §8.3 sensitivity study).
+	ProxyOriginRTT time.Duration
+	// HeterogeneousOrigins gives every domain its own proxy↔origin delay
+	// drawn from 10–120 ms (the §8.4 "real web servers" setting).
+	HeterogeneousOrigins bool
+
+	ProxyBps      int64
+	OriginThink   time.Duration
+	DNSServerTime time.Duration
+}
+
+// DefaultParams returns the paper-calibrated defaults.
+func DefaultParams() Params {
+	return Params{
+		Seed:           1,
+		LTERTT:         78 * time.Millisecond,
+		LTEDownBps:     6_750_000 / 8, // 6.75 Mbps in bytes/s
+		LTEUpBps:       2_000_000 / 8,
+		LTEJitter:      0,
+		WiredRTT:       12 * time.Millisecond,
+		WiredDownBps:   50_000_000 / 8,
+		WiredUpBps:     20_000_000 / 8,
+		ProxyOriginRTT: 20 * time.Millisecond,
+		ProxyBps:       200_000_000 / 8,
+		OriginThink:    2 * time.Millisecond,
+		DNSServerTime:  time.Millisecond,
+	}
+}
+
+// Topology is a built experiment network for one page.
+type Topology struct {
+	Params Params
+	Sim    *eventsim.Simulator
+	Net    *simnet.Network
+
+	Client *simnet.Host
+	Proxy  *simnet.Host
+	DNS    *simnet.Host
+
+	ClientTrace *trace.Recorder
+
+	// Dir maps every page domain to its origin host.
+	Dir httpsim.Directory
+	// ClientResolver resolves at the client (used by DIR).
+	ClientResolver *dnssim.Resolver
+	// ProxyResolver resolves at the proxy (used by PARCEL/CB proxies).
+	ProxyResolver *dnssim.Resolver
+
+	Page webgen.Page
+}
+
+// Build constructs the network for one page. The page's objects are loaded
+// into per-domain origin servers (the replay-server equivalent).
+func Build(page webgen.Page, p Params) *Topology {
+	if p.LTERTT == 0 {
+		p = DefaultParams()
+	}
+	sim := eventsim.New(p.Seed)
+	n := simnet.New(sim)
+
+	clientTrace := &trace.Recorder{}
+	clientCfg := simnet.HostConfig{
+		DownlinkBps: p.LTEDownBps, UplinkBps: p.LTEUpBps, Recorder: clientTrace,
+	}
+	accessRTT := p.LTERTT
+	jitter := p.LTEJitter
+	if p.Wired {
+		clientCfg.DownlinkBps = p.WiredDownBps
+		clientCfg.UplinkBps = p.WiredUpBps
+		accessRTT = p.WiredRTT
+		jitter = 0
+	}
+	client := n.AddHost("client", clientCfg)
+	proxy := n.AddHost("proxy", simnet.HostConfig{DownlinkBps: p.ProxyBps, UplinkBps: p.ProxyBps})
+	dns := n.AddHost("dns", simnet.HostConfig{})
+
+	n.SetPath(client, proxy, simnet.PathParams{RTT: accessRTT, Jitter: jitter})
+	n.SetPath(client, dns, simnet.PathParams{RTT: accessRTT, Jitter: jitter})
+	n.SetPath(proxy, dns, simnet.PathParams{RTT: 2 * time.Millisecond})
+
+	rng := sim.Rand()
+	dir := make(httpsim.Directory, len(page.Domains))
+	store := page.Store()
+	for _, domain := range page.Domains {
+		origin := n.AddHost("origin:"+domain, simnet.HostConfig{DownlinkBps: p.ProxyBps, UplinkBps: p.ProxyBps})
+		originRTT := p.ProxyOriginRTT
+		if p.HeterogeneousOrigins {
+			originRTT = time.Duration(10+rng.Intn(110)) * time.Millisecond
+		}
+		// Client reaches origins through the LTE access plus the wired leg.
+		n.SetPath(client, origin, simnet.PathParams{RTT: accessRTT + originRTT, Jitter: jitter})
+		n.SetPath(proxy, origin, simnet.PathParams{RTT: originRTT})
+		httpsim.NewServer(sim, origin, store, p.OriginThink)
+		dir[domain] = origin
+	}
+
+	dnssim.NewServer(sim, dns, p.DNSServerTime)
+
+	return &Topology{
+		Params:         p,
+		Sim:            sim,
+		Net:            n,
+		Client:         client,
+		Proxy:          proxy,
+		DNS:            dns,
+		ClientTrace:    clientTrace,
+		Dir:            dir,
+		ClientResolver: dnssim.NewResolver(client, dns),
+		ProxyResolver:  dnssim.NewResolver(proxy, dns),
+		Page:           page,
+	}
+}

@@ -1,0 +1,465 @@
+// Package simnet is a deterministic, discrete-event packet network
+// simulator: hosts with asymmetric access-link bandwidth, point-to-point
+// paths with propagation delay and jitter, and a TCP-flavoured reliable
+// stream model (three-way handshake, slow start with IW10, delayed ACKs,
+// in-order message delivery).
+//
+// It substitutes for the live LTE network of the PARCEL paper: packet
+// timestamps recorded at a host are exactly what a tcpdump capture on the
+// device would provide to the ARO energy tool, and the request/response
+// round-trip structure reproduces the latency phenomena the paper measures.
+//
+// The simulator is message-oriented: applications send discrete messages
+// over connections; the simulator segments them at MSS granularity, applies
+// serialization at both access links, propagation delay and the congestion
+// window, and delivers each message exactly once, in order, to the receiving
+// host's handler.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/eventsim"
+	"github.com/parcel-go/parcel/internal/trace"
+)
+
+const (
+	// MSS is the maximum segment payload size.
+	MSS = 1460
+	// HeaderSize is the per-packet TCP/IP header overhead.
+	HeaderSize = 40
+	// AckSize is the wire size of a pure ACK.
+	AckSize = HeaderSize
+	// InitialCwnd is the initial congestion window in segments (IW10).
+	InitialCwnd = 10
+	// SlowStartThreshold is the cwnd (segments) at which growth switches
+	// from exponential to additive.
+	SlowStartThreshold = 32
+	// MaxCwnd caps the congestion window (a 64 KB receive window).
+	MaxCwnd = 44
+	// delayedAckCount is how many data segments one ACK covers.
+	delayedAckCount = 2
+)
+
+// HostConfig describes a host's access link.
+type HostConfig struct {
+	// UplinkBps and DownlinkBps are access-link bandwidths in bytes/second.
+	// Zero means "infinite" (no serialization delay in that direction).
+	UplinkBps   int64
+	DownlinkBps int64
+	// Recorder, when non-nil, captures every packet the host sends or
+	// receives (sends are stamped at wire departure, receives at delivery).
+	Recorder *trace.Recorder
+}
+
+// Host is a network endpoint.
+type Host struct {
+	Name string
+	cfg  HostConfig
+	net  *Network
+
+	egressBusy  time.Duration
+	ingressBusy time.Duration
+
+	accept func(*Conn)
+	dgram  func(from *Host, payload any, size int, at time.Duration)
+}
+
+// Network owns the hosts and the paths between them.
+type Network struct {
+	Sim        *eventsim.Simulator
+	hosts      map[string]*Host
+	paths      map[pathKey]PathParams
+	nextConnID uint64
+}
+
+type pathKey struct{ a, b string }
+
+func orderedKey(a, b string) pathKey {
+	if a < b {
+		return pathKey{a, b}
+	}
+	return pathKey{b, a}
+}
+
+// PathParams describes a point-to-point path.
+type PathParams struct {
+	// RTT is the base round-trip propagation delay (excluding serialization).
+	RTT time.Duration
+	// Jitter is the standard deviation of the per-packet one-way delay
+	// noise; the noise is non-negative so packets are only ever late.
+	Jitter time.Duration
+}
+
+// New creates an empty network on the given simulator.
+func New(sim *eventsim.Simulator) *Network {
+	return &Network{
+		Sim:   sim,
+		hosts: make(map[string]*Host),
+		paths: make(map[pathKey]PathParams),
+	}
+}
+
+// AddHost registers a host. Duplicate names panic: topology wiring is
+// programmer-controlled and a duplicate is always a bug.
+func (n *Network) AddHost(name string, cfg HostConfig) *Host {
+	if _, ok := n.hosts[name]; ok {
+		panic(fmt.Sprintf("simnet: duplicate host %q", name))
+	}
+	h := &Host{Name: name, cfg: cfg, net: n}
+	n.hosts[name] = h
+	return h
+}
+
+// Host looks up a host by name, or nil.
+func (n *Network) Host(name string) *Host { return n.hosts[name] }
+
+// SetPath wires a bidirectional path between two hosts.
+func (n *Network) SetPath(a, b *Host, p PathParams) {
+	if a == b {
+		panic("simnet: path to self")
+	}
+	n.paths[orderedKey(a.Name, b.Name)] = p
+}
+
+// PathBetween returns the path parameters between two hosts; it panics if the
+// pair was never wired, which catches topology mistakes at their source.
+func (n *Network) PathBetween(a, b *Host) PathParams {
+	p, ok := n.paths[orderedKey(a.Name, b.Name)]
+	if !ok {
+		panic(fmt.Sprintf("simnet: no path between %q and %q", a.Name, b.Name))
+	}
+	return p
+}
+
+// packet is an in-flight wire packet.
+type packet struct {
+	size    int // wire bytes including headers
+	kind    trace.Kind
+	connID  uint64
+	label   string
+	payload any
+	arrive  func(at time.Duration) // invoked at delivery on the receiving side
+}
+
+// transmit pushes a packet through from's egress queue, the propagation
+// path, and to's ingress queue, then invokes pkt.arrive. It models FIFO
+// serialization at both access links, which is what makes concurrent
+// connections share bandwidth.
+func (n *Network) transmit(from, to *Host, pkt packet) {
+	now := n.Sim.Now()
+	path := n.PathBetween(from, to)
+
+	depart := now
+	if depart < from.egressBusy {
+		depart = from.egressBusy
+	}
+	var serialize time.Duration
+	if from.cfg.UplinkBps > 0 {
+		serialize = time.Duration(float64(pkt.size) / float64(from.cfg.UplinkBps) * float64(time.Second))
+	}
+	depart += serialize
+	from.egressBusy = depart
+
+	if from.cfg.Recorder != nil {
+		from.cfg.Recorder.Record(trace.Packet{
+			At: depart, Size: pkt.size, Dir: trace.Up, Kind: pkt.kind,
+			Conn: pkt.connID, Label: pkt.label,
+		})
+	}
+
+	prop := path.RTT / 2
+	if path.Jitter > 0 {
+		noise := n.Sim.Rand().NormFloat64() * float64(path.Jitter)
+		if noise < 0 {
+			noise = -noise
+		}
+		prop += time.Duration(noise)
+	}
+	arriveIngress := depart + prop
+
+	n.Sim.ScheduleAt(arriveIngress, func() {
+		deliver := n.Sim.Now()
+		if deliver < to.ingressBusy {
+			deliver = to.ingressBusy
+		}
+		if to.cfg.DownlinkBps > 0 {
+			deliver += time.Duration(float64(pkt.size) / float64(to.cfg.DownlinkBps) * float64(time.Second))
+		}
+		to.ingressBusy = deliver
+		n.Sim.ScheduleAt(deliver, func() {
+			if to.cfg.Recorder != nil {
+				to.cfg.Recorder.Record(trace.Packet{
+					At: deliver, Size: pkt.size, Dir: trace.Down, Kind: pkt.kind,
+					Conn: pkt.connID, Label: pkt.label,
+				})
+			}
+			if pkt.arrive != nil {
+				pkt.arrive(deliver)
+			}
+		})
+	})
+}
+
+// SendDatagram delivers a single connectionless packet (the DNS substrate
+// uses this). size is the wire size; onDelivered may be nil.
+func (h *Host) SendDatagram(to *Host, size int, payload any, onDelivered func(at time.Duration)) {
+	h.net.transmit(h, to, packet{
+		size: size, kind: trace.KindDNS, payload: payload,
+		arrive: func(at time.Duration) {
+			if to.dgram != nil {
+				to.dgram(h, payload, size, at)
+			}
+			if onDelivered != nil {
+				onDelivered(at)
+			}
+		},
+	})
+}
+
+// HandleDatagrams registers the host's datagram handler.
+func (h *Host) HandleDatagrams(fn func(from *Host, payload any, size int, at time.Duration)) {
+	h.dgram = fn
+}
+
+// Listen registers the host's connection-accept handler. The handler runs
+// when a remote SYN arrives, before the SYN-ACK is sent, so the server can
+// register its message handler on the new connection.
+func (h *Host) Listen(fn func(*Conn)) { h.accept = fn }
+
+// Message is a received application message.
+type Message struct {
+	Payload any
+	Size    int
+	At      time.Duration
+}
+
+// Conn is a reliable, in-order, message-preserving bidirectional stream
+// between two hosts, with TCP-like congestion behaviour per direction.
+type Conn struct {
+	ID          uint64
+	net         *Network
+	initiator   *Host
+	responder   *Host
+	established bool
+	closed      bool
+
+	// one sender state per direction
+	toResponder *sender // initiator -> responder
+	toInitiator *sender // responder -> initiator
+
+	onMessage map[string]func(Message) // keyed by receiving host name
+
+	pendingDial []func() // sends queued before the handshake completed
+}
+
+// sender is per-direction TCP sender state.
+type sender struct {
+	conn     *Conn
+	from, to *Host
+
+	cwnd     float64
+	inflight int
+	queue    []*outMsg
+
+	unackedSegs int // data segments received but not yet ACKed (receiver side bookkeeping kept at sender's peer)
+}
+
+type outMsg struct {
+	size      int
+	remaining int // bytes not yet handed to the wire
+	undeliv   int // bytes not yet arrived at receiver
+	payload   any
+	label     string
+	delivered func(at time.Duration)
+}
+
+// Dial opens a connection from h to remote. onEstablished runs at h when the
+// SYN-ACK arrives (one RTT later); queued Sends flush at that point.
+func (h *Host) Dial(remote *Host, onEstablished func(*Conn)) *Conn {
+	n := h.net
+	n.nextConnID++
+	c := &Conn{
+		ID:        n.nextConnID,
+		net:       n,
+		initiator: h,
+		responder: remote,
+		onMessage: make(map[string]func(Message)),
+	}
+	c.toResponder = &sender{conn: c, from: h, to: remote, cwnd: InitialCwnd}
+	c.toInitiator = &sender{conn: c, from: remote, to: h, cwnd: InitialCwnd}
+
+	n.transmit(h, remote, packet{
+		size: HeaderSize, kind: trace.KindSYN, connID: c.ID,
+		arrive: func(at time.Duration) {
+			if remote.accept != nil {
+				remote.accept(c)
+			}
+			n.transmit(remote, h, packet{
+				size: HeaderSize, kind: trace.KindSYNACK, connID: c.ID,
+				arrive: func(at time.Duration) {
+					c.established = true
+					if onEstablished != nil {
+						onEstablished(c)
+					}
+					for _, fn := range c.pendingDial {
+						fn()
+					}
+					c.pendingDial = nil
+				},
+			})
+		},
+	})
+	return c
+}
+
+// Initiator returns the dialing host.
+func (c *Conn) Initiator() *Host { return c.initiator }
+
+// Responder returns the accepting host.
+func (c *Conn) Responder() *Host { return c.responder }
+
+// Peer returns the other endpoint relative to h.
+func (c *Conn) Peer(h *Host) *Host {
+	if h == c.initiator {
+		return c.responder
+	}
+	if h == c.responder {
+		return c.initiator
+	}
+	panic(fmt.Sprintf("simnet: host %q not on conn %d", h.Name, c.ID))
+}
+
+// OnMessage registers the handler invoked for every message delivered to at.
+func (c *Conn) OnMessage(at *Host, fn func(Message)) {
+	if at != c.initiator && at != c.responder {
+		panic(fmt.Sprintf("simnet: host %q not on conn %d", at.Name, c.ID))
+	}
+	c.onMessage[at.Name] = fn
+}
+
+// Send queues a message of size bytes from host `from` to its peer. The
+// message is segmented at MSS; onDelivered (optional) fires at the receiver
+// when the last byte arrives. label annotates the packets in traces.
+func (c *Conn) Send(from *Host, size int, payload any, label string, onDelivered func(at time.Duration)) {
+	if c.closed {
+		panic(fmt.Sprintf("simnet: send on closed conn %d", c.ID))
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("simnet: message size %d", size))
+	}
+	s := c.senderFrom(from)
+	msg := &outMsg{size: size, remaining: size, undeliv: size, payload: payload, label: label, delivered: onDelivered}
+	doSend := func() {
+		s.queue = append(s.queue, msg)
+		s.pump()
+	}
+	// The responder may reply on a connection whose SYN-ACK is still in
+	// flight back to the initiator (TCP allows data right after SYN-ACK);
+	// only the initiator must wait for establishment.
+	if !c.established && from == c.initiator {
+		c.pendingDial = append(c.pendingDial, doSend)
+		return
+	}
+	doSend()
+}
+
+func (c *Conn) senderFrom(from *Host) *sender {
+	switch from {
+	case c.initiator:
+		return c.toResponder
+	case c.responder:
+		return c.toInitiator
+	default:
+		panic(fmt.Sprintf("simnet: host %q not on conn %d", from.Name, c.ID))
+	}
+}
+
+// Close sends a FIN in both directions (best-effort; no time-wait modeling).
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.net.transmit(c.initiator, c.responder, packet{size: HeaderSize, kind: trace.KindFIN, connID: c.ID})
+	c.net.transmit(c.responder, c.initiator, packet{size: HeaderSize, kind: trace.KindFIN, connID: c.ID})
+}
+
+// Closed reports whether Close was called.
+func (c *Conn) Closed() bool { return c.closed }
+
+// pump transmits as many segments as the congestion window allows.
+func (s *sender) pump() {
+	for s.inflight < int(s.cwnd) && len(s.queue) > 0 {
+		head := s.queue[0]
+		segPayload := head.remaining
+		if segPayload > MSS {
+			segPayload = MSS
+		}
+		head.remaining -= segPayload
+		isMsgLast := head.remaining == 0
+		if isMsgLast {
+			// Move the head out of the send queue; delivery bookkeeping
+			// continues via the closure below.
+			s.queue = s.queue[1:]
+		}
+		s.inflight++
+		msg := head
+		s.conn.net.transmit(s.from, s.to, packet{
+			size: segPayload + HeaderSize, kind: trace.KindData,
+			connID: s.conn.ID, label: msg.label,
+			arrive: func(at time.Duration) {
+				s.onSegmentArrived(msg, segPayload, isMsgLast, at)
+			},
+		})
+	}
+}
+
+// onSegmentArrived runs at the receiver when a data segment lands.
+func (s *sender) onSegmentArrived(msg *outMsg, segPayload int, isMsgLast bool, at time.Duration) {
+	msg.undeliv -= segPayload
+	if msg.undeliv == 0 {
+		if handler := s.conn.onMessage[s.to.Name]; handler != nil {
+			handler(Message{Payload: msg.payload, Size: msg.size, At: at})
+		}
+		if msg.delivered != nil {
+			msg.delivered(at)
+		}
+	}
+	// Delayed ACK: one ACK per delayedAckCount segments, flushed immediately
+	// when a message completes (mirrors the TCP quickack-on-PSH behaviour).
+	s.unackedSegs++
+	if s.unackedSegs >= delayedAckCount || isMsgLast {
+		covered := s.unackedSegs
+		s.unackedSegs = 0
+		s.conn.net.transmit(s.to, s.from, packet{
+			size: AckSize, kind: trace.KindACK, connID: s.conn.ID,
+			arrive: func(time.Duration) { s.onAck(covered) },
+		})
+	}
+}
+
+// onAck runs at the sender when an ACK covering `covered` segments arrives.
+func (s *sender) onAck(covered int) {
+	s.inflight -= covered
+	if s.inflight < 0 {
+		s.inflight = 0
+	}
+	for i := 0; i < covered; i++ {
+		if s.cwnd < SlowStartThreshold {
+			s.cwnd++
+		} else {
+			s.cwnd += 1 / s.cwnd
+		}
+		if s.cwnd > MaxCwnd {
+			s.cwnd = MaxCwnd
+			break
+		}
+	}
+	s.pump()
+}
+
+// Cwnd exposes the current congestion window of the direction from `from`,
+// in segments (for tests and instrumentation).
+func (c *Conn) Cwnd(from *Host) float64 { return c.senderFrom(from).cwnd }

@@ -1,0 +1,368 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/eventsim"
+	"github.com/parcel-go/parcel/internal/trace"
+)
+
+const (
+	mbps8   = int64(8e6 / 8)
+	mbps100 = int64(100e6 / 8)
+)
+
+// testNet builds a two-host network: client (8 Mbps down / 2 Mbps up) and
+// server (100 Mbps symmetric), RTT 80 ms, no jitter.
+func testNet(t testing.TB) (*eventsim.Simulator, *Network, *Host, *Host) {
+	t.Helper()
+	sim := eventsim.New(1)
+	n := New(sim)
+	client := n.AddHost("client", HostConfig{DownlinkBps: mbps8, UplinkBps: mbps8 / 4, Recorder: &trace.Recorder{}})
+	server := n.AddHost("server", HostConfig{DownlinkBps: mbps100, UplinkBps: mbps100})
+	n.SetPath(client, server, PathParams{RTT: 80 * time.Millisecond})
+	return sim, n, client, server
+}
+
+func TestHandshakeTakesOneRTT(t *testing.T) {
+	sim, _, client, server := testNet(t)
+	var established time.Duration
+	client.Dial(server, func(c *Conn) { established = sim.Now() })
+	sim.Run()
+	if established < 80*time.Millisecond || established > 82*time.Millisecond {
+		t.Fatalf("handshake completed at %v, want ≈ 80ms", established)
+	}
+}
+
+func TestRequestResponseLatency(t *testing.T) {
+	sim, _, client, server := testNet(t)
+	server.Listen(func(c *Conn) {
+		c.OnMessage(server, func(m Message) {
+			c.Send(server, 1000, "response", "rsp", nil)
+		})
+	})
+	var done time.Duration
+	conn := client.Dial(server, nil)
+	conn.OnMessage(client, func(m Message) {
+		if m.Payload == "response" {
+			done = sim.Now()
+		}
+	})
+	conn.Send(client, 500, "request", "req", nil)
+	sim.Run()
+	// 1 RTT handshake + 1 RTT request/response + serialization ≈ 162 ms.
+	if done < 160*time.Millisecond || done > 175*time.Millisecond {
+		t.Fatalf("request-response done at %v, want ≈ 162ms", done)
+	}
+}
+
+func TestLargeTransferApproachesLinkRate(t *testing.T) {
+	sim, _, client, server := testNet(t)
+	const size = 4 << 20 // 4 MB
+	var start, end time.Duration
+	server.Listen(func(c *Conn) {
+		c.OnMessage(server, func(m Message) {
+			start = sim.Now()
+			c.Send(server, size, nil, "blob", func(at time.Duration) { end = at })
+		})
+	})
+	conn := client.Dial(server, nil)
+	conn.Send(client, 200, "go", "req", nil)
+	sim.Run()
+	if end == 0 {
+		t.Fatal("transfer never completed")
+	}
+	elapsed := (end - start).Seconds()
+	goodput := float64(size) / elapsed
+	// Downlink is 1 MB/s; expect at least 70% utilization after slow start
+	// and no more than the link rate.
+	if goodput < 0.70e6 || goodput > 1.01e6 {
+		t.Fatalf("goodput = %.0f B/s over %.2fs, want ≈ 1e6", goodput, elapsed)
+	}
+}
+
+func TestByteConservation(t *testing.T) {
+	sim, _, client, server := testNet(t)
+	sizes := []int{1, 100, MSS, MSS + 1, 10_000, 333_333}
+	var got []int
+	server.Listen(func(c *Conn) {
+		c.OnMessage(server, func(m Message) { got = append(got, m.Size) })
+	})
+	conn := client.Dial(server, nil)
+	for _, s := range sizes {
+		conn.Send(client, s, nil, "m", nil)
+	}
+	sim.Run()
+	if len(got) != len(sizes) {
+		t.Fatalf("delivered %d messages, want %d", len(got), len(sizes))
+	}
+	for i := range sizes {
+		if got[i] != sizes[i] {
+			t.Fatalf("message %d size %d, want %d (in-order delivery violated?)", i, got[i], sizes[i])
+		}
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	sim, _, client, server := testNet(t)
+	var order []int
+	server.Listen(func(c *Conn) {
+		c.OnMessage(server, func(m Message) { order = append(order, m.Payload.(int)) })
+	})
+	conn := client.Dial(server, nil)
+	for i := 0; i < 20; i++ {
+		conn.Send(client, 700+i, i, "m", nil)
+	}
+	sim.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("messages reordered: %v", order)
+		}
+	}
+}
+
+func TestSlowStartRamps(t *testing.T) {
+	sim, _, client, server := testNet(t)
+	var c *Conn
+	server.Listen(func(conn *Conn) {
+		c = conn
+		conn.OnMessage(server, func(m Message) {
+			conn.Send(server, 2<<20, nil, "blob", nil)
+		})
+	})
+	conn := client.Dial(server, nil)
+	conn.Send(client, 100, nil, "req", nil)
+	sim.Run()
+	if c == nil {
+		t.Fatal("no conn accepted")
+	}
+	if cw := c.Cwnd(server); cw <= InitialCwnd {
+		t.Fatalf("cwnd = %v after 2MB transfer, want > initial %d", cw, InitialCwnd)
+	}
+	if cw := c.Cwnd(server); cw > MaxCwnd {
+		t.Fatalf("cwnd = %v exceeds cap %d", cw, MaxCwnd)
+	}
+}
+
+func TestTwoConnectionsShareBandwidth(t *testing.T) {
+	sim := eventsim.New(1)
+	n := New(sim)
+	client := n.AddHost("client", HostConfig{DownlinkBps: mbps8})
+	s1 := n.AddHost("s1", HostConfig{})
+	s2 := n.AddHost("s2", HostConfig{})
+	n.SetPath(client, s1, PathParams{RTT: 80 * time.Millisecond})
+	n.SetPath(client, s2, PathParams{RTT: 80 * time.Millisecond})
+	const size = 1 << 20
+	var t1, t2 time.Duration
+	handler := func(done *time.Duration) func(*Conn) {
+		return func(c *Conn) {
+			c.OnMessage(c.Responder(), func(m Message) {
+				c.Send(c.Responder(), size, nil, "blob", func(at time.Duration) { *done = at })
+			})
+		}
+	}
+	s1.Listen(handler(&t1))
+	s2.Listen(handler(&t2))
+	client.Dial(s1, nil).Send(client, 100, nil, "r", nil)
+	client.Dial(s2, nil).Send(client, 100, nil, "r", nil)
+	sim.Run()
+	// Two 1 MB transfers over a shared 1 MB/s downlink: both finish around
+	// 2 s, i.e. each sees roughly half the link.
+	for _, d := range []time.Duration{t1, t2} {
+		if d < 1500*time.Millisecond || d > 3*time.Second {
+			t.Fatalf("transfer done at %v, want ≈ 2s (sharing)", d)
+		}
+	}
+}
+
+func TestRecorderSeesClientPackets(t *testing.T) {
+	sim, _, client, server := testNet(t)
+	rec := client.cfg.Recorder
+	server.Listen(func(c *Conn) {
+		c.OnMessage(server, func(m Message) { c.Send(server, 5000, nil, "rsp", nil) })
+	})
+	conn := client.Dial(server, nil)
+	conn.Send(client, 300, nil, "req", nil)
+	sim.Run()
+	if rec.Len() == 0 {
+		t.Fatal("no packets recorded")
+	}
+	var kinds = map[trace.Kind]int{}
+	for _, p := range rec.Packets() {
+		kinds[p.Kind]++
+	}
+	if kinds[trace.KindSYN] != 1 || kinds[trace.KindSYNACK] != 1 {
+		t.Fatalf("handshake packets wrong: %v", kinds)
+	}
+	if kinds[trace.KindData] < 4 { // 1 up request + 4 down segments
+		t.Fatalf("data packets = %d, want >= 4", kinds[trace.KindData])
+	}
+	if kinds[trace.KindACK] == 0 {
+		t.Fatal("no ACKs recorded")
+	}
+	up := trace.Up
+	if rec.TotalBytes(&up) == 0 {
+		t.Fatal("no uplink bytes recorded")
+	}
+}
+
+func TestResponderMayReplyBeforeEstablished(t *testing.T) {
+	// The server can start sending as soon as it accepts (data rides just
+	// behind the SYN-ACK) — PARCEL's proxy push uses this.
+	sim, _, client, server := testNet(t)
+	var got time.Duration
+	server.Listen(func(c *Conn) {
+		c.OnMessage(client, func(m Message) { got = sim.Now() })
+		c.Send(server, 1000, nil, "push", nil)
+	})
+	client.Dial(server, nil)
+	sim.Run()
+	if got == 0 {
+		t.Fatal("push never arrived")
+	}
+	if got > 90*time.Millisecond {
+		t.Fatalf("push arrived at %v, want ≈ 1 RTT", got)
+	}
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	sim, _, client, server := testNet(t)
+	var reply time.Duration
+	server.HandleDatagrams(func(from *Host, payload any, size int, at time.Duration) {
+		server.SendDatagram(from, 80, "answer", nil)
+	})
+	client.HandleDatagrams(func(from *Host, payload any, size int, at time.Duration) {
+		if payload == "answer" {
+			reply = at
+		}
+	})
+	client.SendDatagram(server, 60, "query", nil)
+	sim.Run()
+	if reply < 80*time.Millisecond || reply > 85*time.Millisecond {
+		t.Fatalf("datagram RTT = %v, want ≈ 80ms", reply)
+	}
+}
+
+func TestDuplicateHostPanics(t *testing.T) {
+	sim := eventsim.New(1)
+	n := New(sim)
+	n.AddHost("x", HostConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate host did not panic")
+		}
+	}()
+	n.AddHost("x", HostConfig{})
+}
+
+func TestMissingPathPanics(t *testing.T) {
+	sim := eventsim.New(1)
+	n := New(sim)
+	a := n.AddHost("a", HostConfig{})
+	b := n.AddHost("b", HostConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing path did not panic")
+		}
+	}()
+	a.Dial(b, nil)
+	sim.Run()
+}
+
+func TestSendOnClosedConnPanics(t *testing.T) {
+	sim, _, client, server := testNet(t)
+	conn := client.Dial(server, nil)
+	sim.Run()
+	conn.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send on closed conn did not panic")
+		}
+	}()
+	conn.Send(client, 10, nil, "m", nil)
+}
+
+func TestZeroSizeSendPanics(t *testing.T) {
+	sim, _, client, server := testNet(t)
+	conn := client.Dial(server, nil)
+	sim.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size send did not panic")
+		}
+	}()
+	conn.Send(client, 0, nil, "m", nil)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []trace.Packet {
+		sim := eventsim.New(7)
+		n := New(sim)
+		rec := &trace.Recorder{}
+		client := n.AddHost("client", HostConfig{DownlinkBps: mbps8, Recorder: rec})
+		server := n.AddHost("server", HostConfig{})
+		n.SetPath(client, server, PathParams{RTT: 80 * time.Millisecond, Jitter: 3 * time.Millisecond})
+		server.Listen(func(c *Conn) {
+			c.OnMessage(server, func(m Message) { c.Send(server, 100_000, nil, "b", nil) })
+		})
+		client.Dial(server, nil).Send(client, 200, nil, "r", nil)
+		sim.Run()
+		return rec.Packets()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different packet counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestJitterDelaysButPreservesMessages(t *testing.T) {
+	sim := eventsim.New(3)
+	n := New(sim)
+	client := n.AddHost("client", HostConfig{DownlinkBps: mbps8})
+	server := n.AddHost("server", HostConfig{})
+	n.SetPath(client, server, PathParams{RTT: 80 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	var sizes []int
+	server.Listen(func(c *Conn) {}) // accept
+	conn := client.Dial(server, nil)
+	conn.OnMessage(client, func(m Message) { sizes = append(sizes, m.Size) })
+	server.Listen(func(c *Conn) {
+		c.OnMessage(server, func(m Message) {
+			for i := 0; i < 10; i++ {
+				c.Send(server, 20_000, nil, "b", nil)
+			}
+		})
+	})
+	conn2 := client.Dial(server, nil)
+	conn2.OnMessage(client, func(m Message) { sizes = append(sizes, m.Size) })
+	conn2.Send(client, 100, nil, "r", nil)
+	sim.Run()
+	if len(sizes) != 10 {
+		t.Fatalf("delivered %d messages, want 10", len(sizes))
+	}
+	for _, s := range sizes {
+		if s != 20_000 {
+			t.Fatalf("message size %d corrupted by jitter", s)
+		}
+	}
+}
+
+func BenchmarkTransfer1MB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := eventsim.New(1)
+		n := New(sim)
+		client := n.AddHost("client", HostConfig{DownlinkBps: mbps8})
+		server := n.AddHost("server", HostConfig{})
+		n.SetPath(client, server, PathParams{RTT: 80 * time.Millisecond})
+		server.Listen(func(c *Conn) {
+			c.OnMessage(server, func(m Message) { c.Send(server, 1<<20, nil, "b", nil) })
+		})
+		client.Dial(server, nil).Send(client, 100, nil, "r", nil)
+		sim.Run()
+	}
+}

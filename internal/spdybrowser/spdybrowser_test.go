@@ -1,0 +1,76 @@
+package spdybrowser
+
+import (
+	"testing"
+
+	"github.com/parcel-go/parcel/internal/core"
+	"github.com/parcel-go/parcel/internal/dirbrowser"
+	"github.com/parcel-go/parcel/internal/scenario"
+	"github.com/parcel-go/parcel/internal/webgen"
+)
+
+func pageAt(t testing.TB, idx int) webgen.Page {
+	t.Helper()
+	pages := webgen.Generate(webgen.Spec{Seed: 31, NumPages: 6})
+	return pages[idx%len(pages)]
+}
+
+func TestSPDYLoadsFullPage(t *testing.T) {
+	page := pageAt(t, 0)
+	topo := scenario.Build(page, scenario.DefaultParams())
+	b := New(topo, Options{FixedRandom: true})
+	run := b.Load()
+	if run.OLT == 0 {
+		t.Fatal("onload never fired")
+	}
+	if _, ok := b.Engine.CompleteAt(); !ok {
+		t.Fatal("page never completed")
+	}
+	if run.ObjectsLoaded < page.ObjectCount-2 { // https beacons excepted
+		t.Fatalf("loaded %d of %d objects", run.ObjectsLoaded, page.ObjectCount)
+	}
+}
+
+func TestSPDYSingleConnPerDomain(t *testing.T) {
+	page := pageAt(t, 2)
+	topo := scenario.Build(page, scenario.DefaultParams())
+	b := New(topo, Options{FixedRandom: true})
+	b.Load()
+	if b.Client.TotalConns() > len(page.Domains) {
+		t.Fatalf("SPDY opened %d conns for %d domains", b.Client.TotalConns(), len(page.Domains))
+	}
+	dTopo := scenario.Build(page, scenario.DefaultParams())
+	d := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
+	if b.Client.ConnsOpened >= d.ConnsOpened {
+		t.Fatalf("SPDY conns %d >= DIR conns %d", b.Client.ConnsOpened, d.ConnsOpened)
+	}
+}
+
+func TestSPDYBeatsDIRButNotParcel(t *testing.T) {
+	// The paper's position (§3, §4.3): SPDY transport helps HTTP's
+	// per-object round trips somewhat, but client-side discovery still
+	// bounds it — PARCEL keeps its advantage even against SPDY.
+	betterThanDIR, parcelBeatsSPDY := 0, 0
+	const n = 4
+	for i := 0; i < n; i++ {
+		page := pageAt(t, i)
+		sTopo := scenario.Build(page, scenario.DefaultParams())
+		s := Run(sTopo, Options{FixedRandom: true})
+		dTopo := scenario.Build(page, scenario.DefaultParams())
+		d := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
+		pTopo := scenario.Build(page, scenario.DefaultParams())
+		p := core.Run(pTopo, core.DefaultProxyConfig(), core.DefaultClientConfig())
+		if s.OLT < d.OLT {
+			betterThanDIR++
+		}
+		if p.OLT < s.OLT {
+			parcelBeatsSPDY++
+		}
+	}
+	if betterThanDIR < n-1 {
+		t.Fatalf("SPDY beat DIR on only %d/%d pages", betterThanDIR, n)
+	}
+	if parcelBeatsSPDY < n-1 {
+		t.Fatalf("PARCEL beat SPDY on only %d/%d pages", parcelBeatsSPDY, n)
+	}
+}

@@ -1,0 +1,206 @@
+// Package trace captures per-host packet traces from the network simulator
+// and derives the paper's latency metrics from them: the packet timeline a
+// tcpdump capture would show on the device, OLT/TLT extraction, and the
+// activity series the radio energy model consumes (§7.1).
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/radio"
+)
+
+// Kind classifies a packet.
+type Kind int
+
+const (
+	KindData Kind = iota
+	KindSYN
+	KindSYNACK
+	KindACK
+	KindFIN
+	KindDNS
+)
+
+var kindNames = [...]string{"DATA", "SYN", "SYNACK", "ACK", "FIN", "DNS"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return "?"
+	}
+	return kindNames[k]
+}
+
+// Dir is the packet direction relative to the traced host.
+type Dir int
+
+const (
+	// Up is a packet the host transmits.
+	Up Dir = iota
+	// Down is a packet the host receives.
+	Down
+)
+
+func (d Dir) String() string {
+	if d == Up {
+		return "UP"
+	}
+	return "DOWN"
+}
+
+// Packet is one captured packet event.
+type Packet struct {
+	At    time.Duration
+	Size  int // bytes on the wire, headers included
+	Dir   Dir
+	Kind  Kind
+	Conn  uint64 // connection id, 0 for connectionless
+	Label string // free-form annotation (e.g. object URL)
+}
+
+// Recorder accumulates packets observed at one host. The zero value is ready
+// to use. Recorder is not safe for concurrent use; the simulator is
+// single-threaded by construction.
+type Recorder struct {
+	packets []Packet
+}
+
+// Record appends one packet event.
+func (r *Recorder) Record(p Packet) { r.packets = append(r.packets, p) }
+
+// Packets returns the capture in arrival order (the order recorded).
+func (r *Recorder) Packets() []Packet { return r.packets }
+
+// Len returns the number of captured packets.
+func (r *Recorder) Len() int { return len(r.packets) }
+
+// Reset clears the capture.
+func (r *Recorder) Reset() { r.packets = r.packets[:0] }
+
+// TotalBytes sums wire bytes across the capture, optionally filtered by
+// direction (pass nil for both).
+func (r *Recorder) TotalBytes(dir *Dir) int64 {
+	var sum int64
+	for _, p := range r.packets {
+		if dir == nil || p.Dir == *dir {
+			sum += int64(p.Size)
+		}
+	}
+	return sum
+}
+
+// First returns the earliest packet time, or ok=false for an empty capture.
+func (r *Recorder) First() (time.Duration, bool) {
+	if len(r.packets) == 0 {
+		return 0, false
+	}
+	min := r.packets[0].At
+	for _, p := range r.packets[1:] {
+		if p.At < min {
+			min = p.At
+		}
+	}
+	return min, true
+}
+
+// Last returns the latest packet time, or ok=false for an empty capture.
+func (r *Recorder) Last() (time.Duration, bool) {
+	if len(r.packets) == 0 {
+		return 0, false
+	}
+	max := r.packets[0].At
+	for _, p := range r.packets[1:] {
+		if p.At > max {
+			max = p.At
+		}
+	}
+	return max, true
+}
+
+// LastDataAt returns the time of the last DATA packet, or ok=false when the
+// capture holds none. This is the paper's TLT endpoint ("last ACK for all
+// objects in the trace" — in our simulator data delivery time is the
+// equivalent observable).
+func (r *Recorder) LastDataAt() (time.Duration, bool) {
+	var max time.Duration
+	found := false
+	for _, p := range r.packets {
+		if p.Kind == KindData && (!found || p.At > max) {
+			max, found = p.At, true
+		}
+	}
+	return max, found
+}
+
+// LastDataMatching returns the time of the last DATA packet satisfying keep.
+// PARCEL uses this to exclude control messages (completion notification)
+// from TLT, which the paper defines over the page's objects.
+func (r *Recorder) LastDataMatching(keep func(Packet) bool) (time.Duration, bool) {
+	var max time.Duration
+	found := false
+	for _, p := range r.packets {
+		if p.Kind == KindData && keep(p) && (!found || p.At > max) {
+			max, found = p.At, true
+		}
+	}
+	return max, found
+}
+
+// Activities converts the capture into the radio model's activity series.
+// Every packet — data, ACK or DNS, up or down — keeps the radio in CR.
+func (r *Recorder) Activities() []radio.Activity {
+	acts := make([]radio.Activity, len(r.packets))
+	for i, p := range r.packets {
+		acts[i] = radio.Activity{At: p.At, Bytes: p.Size}
+	}
+	return acts
+}
+
+// Point is one step in a cumulative byte timeline.
+type Point struct {
+	At    time.Duration
+	Bytes int64
+}
+
+// CumulativeBytes returns the running total of DATA payload bytes in the
+// given direction over time — the series Figure 6a plots.
+func (r *Recorder) CumulativeBytes(dir Dir) []Point {
+	pkts := make([]Packet, 0, len(r.packets))
+	for _, p := range r.packets {
+		if p.Kind == KindData && p.Dir == dir {
+			pkts = append(pkts, p)
+		}
+	}
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].At < pkts[j].At })
+	points := make([]Point, 0, len(pkts))
+	var total int64
+	for _, p := range pkts {
+		total += int64(p.Size)
+		if n := len(points); n > 0 && points[n-1].At == p.At {
+			points[n-1].Bytes = total
+			continue
+		}
+		points = append(points, Point{At: p.At, Bytes: total})
+	}
+	return points
+}
+
+// GapHistogram returns the inter-packet gaps in the capture, sorted
+// ascending. Useful for validating burstiness claims (bundling reduces gaps).
+func (r *Recorder) GapHistogram() []time.Duration {
+	if len(r.packets) < 2 {
+		return nil
+	}
+	times := make([]time.Duration, len(r.packets))
+	for i, p := range r.packets {
+		times[i] = p.At
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	gaps := make([]time.Duration, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, times[i]-times[i-1])
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	return gaps
+}

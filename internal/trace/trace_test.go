@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func pkt(at int, size int, dir Dir, kind Kind) Packet {
+	return Packet{At: time.Duration(at) * time.Millisecond, Size: size, Dir: dir, Kind: kind}
+}
+
+func TestRecordAndTotals(t *testing.T) {
+	var r Recorder
+	r.Record(pkt(0, 100, Up, KindSYN))
+	r.Record(pkt(10, 1500, Down, KindData))
+	r.Record(pkt(20, 40, Up, KindACK))
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if got := r.TotalBytes(nil); got != 1640 {
+		t.Fatalf("TotalBytes = %d, want 1640", got)
+	}
+	up := Up
+	if got := r.TotalBytes(&up); got != 140 {
+		t.Fatalf("TotalBytes(Up) = %d, want 140", got)
+	}
+}
+
+func TestFirstLastEmpty(t *testing.T) {
+	var r Recorder
+	if _, ok := r.First(); ok {
+		t.Fatal("First on empty returned ok")
+	}
+	if _, ok := r.Last(); ok {
+		t.Fatal("Last on empty returned ok")
+	}
+	if _, ok := r.LastDataAt(); ok {
+		t.Fatal("LastDataAt on empty returned ok")
+	}
+}
+
+func TestFirstLastData(t *testing.T) {
+	var r Recorder
+	r.Record(pkt(50, 40, Up, KindACK))
+	r.Record(pkt(10, 100, Up, KindSYN))
+	r.Record(pkt(30, 1500, Down, KindData))
+	if first, _ := r.First(); first != 10*time.Millisecond {
+		t.Fatalf("First = %v", first)
+	}
+	if last, _ := r.Last(); last != 50*time.Millisecond {
+		t.Fatalf("Last = %v", last)
+	}
+	if ld, _ := r.LastDataAt(); ld != 30*time.Millisecond {
+		t.Fatalf("LastDataAt = %v", ld)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var r Recorder
+	r.Record(pkt(0, 1, Up, KindData))
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestActivities(t *testing.T) {
+	var r Recorder
+	r.Record(pkt(5, 1500, Down, KindData))
+	r.Record(pkt(9, 40, Up, KindACK))
+	acts := r.Activities()
+	if len(acts) != 2 {
+		t.Fatalf("len = %d", len(acts))
+	}
+	if acts[0].At != 5*time.Millisecond || acts[0].Bytes != 1500 {
+		t.Fatalf("activity 0 = %+v", acts[0])
+	}
+}
+
+func TestCumulativeBytes(t *testing.T) {
+	var r Recorder
+	r.Record(pkt(10, 1000, Down, KindData))
+	r.Record(pkt(10, 500, Down, KindData)) // same instant merges
+	r.Record(pkt(20, 40, Up, KindACK))     // not data-down
+	r.Record(pkt(30, 2000, Down, KindData))
+	pts := r.CumulativeBytes(Down)
+	if len(pts) != 2 {
+		t.Fatalf("points = %+v, want 2 entries", pts)
+	}
+	if pts[0].Bytes != 1500 || pts[1].Bytes != 3500 {
+		t.Fatalf("cumulative = %+v", pts)
+	}
+}
+
+func TestGapHistogram(t *testing.T) {
+	var r Recorder
+	r.Record(pkt(0, 1, Up, KindData))
+	r.Record(pkt(100, 1, Up, KindData))
+	r.Record(pkt(130, 1, Up, KindData))
+	gaps := r.GapHistogram()
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	if gaps[0] != 30*time.Millisecond || gaps[1] != 100*time.Millisecond {
+		t.Fatalf("gaps = %v (want sorted 30ms, 100ms)", gaps)
+	}
+	var empty Recorder
+	if empty.GapHistogram() != nil {
+		t.Fatal("GapHistogram on empty not nil")
+	}
+}
+
+func TestKindDirStrings(t *testing.T) {
+	if KindData.String() != "DATA" || KindSYN.String() != "SYN" || Kind(42).String() != "?" {
+		t.Fatal("kind names wrong")
+	}
+	if Up.String() != "UP" || Down.String() != "DOWN" {
+		t.Fatal("dir names wrong")
+	}
+}
