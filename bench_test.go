@@ -161,6 +161,37 @@ func BenchmarkDelaySensitivity(b *testing.B) {
 	b.ReportMetric(penaltyGrowth, "ONLD-penalty-growth-s")
 }
 
+// BenchmarkSweepSerialVsParallel runs the same DIR+PARCEL(IND) sweep with a
+// one-worker pool and a per-CPU pool and reports the wall-clock speedup. On a
+// single-CPU machine both arms take the serial path and the ratio sits at
+// ~1.0x; on a 4-core runner the parallel arm should cut the sweep at least in
+// half (cmd/parcel-bench benchsweep records the same ratio to BENCH_sweep.json).
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	cfg := benchCfg(8)
+	cfg.Runs = 2
+	cfg.Jitter = 2 * time.Millisecond
+	schemes := []experiments.Scheme{
+		experiments.DIRScheme,
+		experiments.ParcelScheme(sched.ConfigIND),
+	}
+	b.ReportAllocs()
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg.Parallelism = 1
+		t0 := time.Now()
+		experiments.Sweep(cfg, schemes)
+		serial += time.Since(t0)
+
+		cfg.Parallelism = 0 // one worker per CPU
+		t1 := time.Now()
+		experiments.Sweep(cfg, schemes)
+		parallel += time.Since(t1)
+	}
+	if parallel > 0 {
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "serial/parallel-speedup")
+	}
+}
+
 // --- single page-load throughput benches -------------------------------------
 
 func benchPage(b *testing.B) webgen.Page {

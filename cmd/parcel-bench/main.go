@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	parcel-bench [-pages N] [-runs N] [-seed S] [-jitter D] TARGET...
+//	parcel-bench [-pages N] [-runs N] [-seed S] [-jitter D] [-parallelism N] TARGET...
 //
 // Targets: fig3 fig5 fig6a fig6b fig6c fig7a fig7b fig7c fig8 fig9 fig10
-// fig11 model delay table1 summary all
+// fig11 model delay table1 spdy summary benchsweep all
+//
+// Independent targets render concurrently (each into its own buffer, printed
+// in request order); the simulations inside each target additionally fan out
+// on the -parallelism worker pool. benchsweep times a serial vs parallel
+// sweep and writes the result to BENCH_sweep.json; it always runs by itself,
+// before any other requested target, so nothing competes with the clock.
 //
 // Absolute numbers come from a simulator, not the authors' LTE testbed; the
 // shapes (who wins, by what factor, the trade-off orderings) are what the
@@ -14,15 +20,22 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"reflect"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"github.com/parcel-go/parcel/internal/experiments"
 	"github.com/parcel-go/parcel/internal/radio"
+	"github.com/parcel-go/parcel/internal/runner"
+	"github.com/parcel-go/parcel/internal/sched"
 	"github.com/parcel-go/parcel/internal/stats"
 	"github.com/parcel-go/parcel/internal/trace"
 )
@@ -38,6 +51,8 @@ func main() {
 	runs := flag.Int("runs", 3, "measurement rounds per page/scheme")
 	seed := flag.Int64("seed", 1, "generator and jitter seed")
 	jitter := flag.Duration("jitter", 2*time.Millisecond, "LTE per-packet jitter stddev")
+	parallelism := flag.Int("parallelism", 0, "simulation worker pool size (0 = one per CPU, 1 = serial)")
+	benchOut := flag.String("benchout", "BENCH_sweep.json", "output path for the benchsweep target")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -45,137 +60,256 @@ func main() {
 	cfg.Runs = *runs
 	cfg.Seed = *seed
 	cfg.Jitter = *jitter
+	cfg.Parallelism = *parallelism
 
 	targets := flag.Args()
 	if len(targets) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: parcel-bench [flags] TARGET...\ntargets: %s all\n",
+		fmt.Fprintf(os.Stderr, "usage: parcel-bench [flags] TARGET...\ntargets: %s benchsweep all\n",
 			strings.Join(allTargets, " "))
 		os.Exit(2)
 	}
 	if len(targets) == 1 && targets[0] == "all" {
 		targets = allTargets
 	}
+
+	// Validate everything up front so an unknown target fails before any
+	// multi-second sweep starts, and pull benchsweep out: it measures wall
+	// clock, so it must not share the machine with other targets.
+	wantBench := false
+	renderTargets := targets[:0:0]
 	for _, t := range targets {
-		if err := run(t, cfg); err != nil {
+		if t == "benchsweep" {
+			wantBench = true
+			continue
+		}
+		if !knownTarget(t) {
+			fmt.Fprintf(os.Stderr, "parcel-bench: unknown target %q (want one of %s benchsweep)\n",
+				t, strings.Join(allTargets, " "))
+			os.Exit(2)
+		}
+		renderTargets = append(renderTargets, t)
+	}
+	if wantBench {
+		if err := benchSweep(os.Stdout, cfg, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "parcel-bench: %v\n", err)
 			os.Exit(1)
 		}
 	}
+
+	// Each remaining target is independent of the others: render them
+	// concurrently, each into a private buffer, and print the buffers in
+	// the order they were asked for.
+	outputs := runner.Map(cfg.Parallelism, len(renderTargets), func(i int) []byte {
+		var buf bytes.Buffer
+		render(&buf, renderTargets[i], cfg)
+		return buf.Bytes()
+	})
+	for _, out := range outputs {
+		os.Stdout.Write(out)
+	}
 }
 
-func run(target string, cfg experiments.Config) error {
+func knownTarget(target string) bool {
+	for _, t := range allTargets {
+		if t == target {
+			return true
+		}
+	}
+	return false
+}
+
+func render(w io.Writer, target string, cfg experiments.Config) {
 	switch target {
 	case "fig3":
-		fig3(cfg)
+		fig3(w, cfg)
 	case "fig5":
-		fig5(cfg)
+		fig5(w, cfg)
 	case "fig6a":
-		fig6a(cfg)
+		fig6a(w, cfg)
 	case "fig6b":
-		fig6b(cfg)
+		fig6b(w, cfg)
 	case "fig6c":
-		fig6c(cfg)
+		fig6c(w, cfg)
 	case "fig7a":
-		fig7a(cfg)
+		fig7a(w, cfg)
 	case "fig7b", "fig7c":
-		fig7bc(cfg, target)
+		fig7bc(w, cfg, target)
 	case "fig8":
-		fig8(cfg)
+		fig8(w, cfg)
 	case "fig9":
-		fig9(cfg)
+		fig9(w, cfg)
 	case "fig10", "fig11":
-		fig1011(cfg, target)
+		fig1011(w, cfg, target)
 	case "model":
-		model()
+		model(w)
 	case "delay":
-		delay(cfg)
+		delay(w, cfg)
 	case "table1":
-		table1(cfg)
+		table1(w, cfg)
 	case "spdy":
-		spdy(cfg)
+		spdy(w, cfg)
 	case "summary":
-		summary(cfg)
-	default:
-		return fmt.Errorf("unknown target %q (want one of %s)", target, strings.Join(allTargets, " "))
+		summary(w, cfg)
 	}
+}
+
+// benchReport is the JSON shape the benchsweep target writes: the serial and
+// parallel wall-clock of one identical Sweep, and the derived speedup.
+type benchReport struct {
+	Pages           int     `json:"pages"`
+	Runs            int     `json:"runs"`
+	Schemes         int     `json:"schemes"`
+	Simulations     int     `json:"simulations"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Parallelism     int     `json:"parallelism"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// benchSweep times the same DIR+PARCEL(IND) sweep serially and on the worker
+// pool, checks the outputs agree, and writes the report to path.
+func benchSweep(w io.Writer, cfg experiments.Config, path string) error {
+	header(w, "benchsweep: serial vs parallel Sweep wall clock")
+	schemes := []experiments.Scheme{
+		experiments.DIRScheme,
+		experiments.ParcelScheme(sched.ConfigIND),
+	}
+	// Warm once so page generation and lazy init don't skew the serial arm.
+	warm := cfg
+	warm.Pages = 1
+	warm.Runs = 1
+	warm.Parallelism = 1
+	experiments.Sweep(warm, schemes)
+
+	serialCfg := cfg
+	serialCfg.Parallelism = 1
+	t0 := time.Now()
+	serial := experiments.Sweep(serialCfg, schemes)
+	serialDur := time.Since(t0)
+
+	parallelCfg := cfg
+	if parallelCfg.Parallelism == 1 {
+		parallelCfg.Parallelism = 0 // forcing serial would time the same thing twice
+	}
+	t1 := time.Now()
+	parallel := experiments.Sweep(parallelCfg, schemes)
+	parallelDur := time.Since(t1)
+
+	for i := range serial {
+		for name, run := range serial[i].Runs {
+			if !reflect.DeepEqual(parallel[i].Runs[name], run) {
+				return fmt.Errorf("parallel sweep diverged from serial on page %d scheme %s", i, name)
+			}
+		}
+	}
+
+	rep := benchReport{
+		Pages:           cfg.Pages,
+		Runs:            cfg.Runs,
+		Schemes:         len(schemes),
+		Simulations:     cfg.Pages * len(schemes) * cfg.Runs,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Parallelism:     runner.Parallelism(parallelCfg.Parallelism),
+		SerialSeconds:   serialDur.Seconds(),
+		ParallelSeconds: parallelDur.Seconds(),
+	}
+	if parallelDur > 0 {
+		rep.Speedup = serialDur.Seconds() / parallelDur.Seconds()
+	}
+	fmt.Fprintf(w, "%d simulations (%d pages x %d schemes x %d runs), GOMAXPROCS=%d\n",
+		rep.Simulations, rep.Pages, rep.Schemes, rep.Runs, rep.GOMAXPROCS)
+	fmt.Fprintf(w, "serial   (parallelism=1):  %8.3fs\n", rep.SerialSeconds)
+	fmt.Fprintf(w, "parallel (parallelism=%d): %8.3fs\n", rep.Parallelism, rep.ParallelSeconds)
+	fmt.Fprintf(w, "speedup: %.2fx (outputs verified identical)\n", rep.Speedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
 	return nil
 }
 
-func header(title string) {
-	fmt.Printf("\n=== %s ===\n", title)
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
 }
 
 // cdfRows prints the quartile summary of one or more labelled series.
-func cdfRows(label string, series map[string][]float64, unit string) {
+func cdfRows(w io.Writer, label string, series map[string][]float64, unit string) {
 	names := make([]string, 0, len(series))
 	for name := range series {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("%-16s %8s %8s %8s %8s %8s  (%s)\n", label, "P10", "P25", "P50", "P75", "P90", unit)
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %8s %8s  (%s)\n", label, "P10", "P25", "P50", "P75", "P90", unit)
 	for _, name := range names {
 		xs := series[name]
-		fmt.Printf("%-16s %8.2f %8.2f %8.2f %8.2f %8.2f\n", name,
+		fmt.Fprintf(w, "%-16s %8.2f %8.2f %8.2f %8.2f %8.2f\n", name,
 			stats.Percentile(xs, 10), stats.Percentile(xs, 25), stats.Median(xs),
 			stats.Percentile(xs, 75), stats.Percentile(xs, 90))
 	}
 }
 
 // cdfSteps prints a coarse CDF (x at each decile) for plotting.
-func cdfSteps(name string, xs []float64) {
-	fmt.Printf("  %s CDF:", name)
+func cdfSteps(w io.Writer, name string, xs []float64) {
+	fmt.Fprintf(w, "  %s CDF:", name)
 	for p := 10.0; p <= 100; p += 10 {
-		fmt.Printf(" %.0f%%=%.2f", p, stats.Percentile(xs, p))
+		fmt.Fprintf(w, " %.0f%%=%.2f", p, stats.Percentile(xs, p))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
-func fig3(cfg experiments.Config) {
-	header("Figure 3: median OLT CDF, cellular vs wired download (DIR)")
+func fig3(w io.Writer, cfg experiments.Config) {
+	header(w, "Figure 3: median OLT CDF, cellular vs wired download (DIR)")
 	r := experiments.Fig3(cfg)
-	cdfRows("access", map[string][]float64{
+	cdfRows(w, "access", map[string][]float64{
 		"cellular (LTE)": r.CellularOLT,
 		"wired":          r.WiredOLT,
 	}, "seconds")
-	fmt.Printf("paper: LTE median > 6 s (max ≈ 13 s); wired median ≈ 1.1 s (max ≈ 4 s)\n")
-	fmt.Printf("measured: LTE median %.2f s; wired median %.2f s\n",
+	fmt.Fprintf(w, "paper: LTE median > 6 s (max ≈ 13 s); wired median ≈ 1.1 s (max ≈ 4 s)\n")
+	fmt.Fprintf(w, "measured: LTE median %.2f s; wired median %.2f s\n",
 		stats.Median(r.CellularOLT), stats.Median(r.WiredOLT))
 }
 
-func fig5(cfg experiments.Config) {
-	header("Figure 5: download patterns (client cumulative bytes)")
+func fig5(w io.Writer, cfg experiments.Config) {
+	header(w, "Figure 5: download patterns (client cumulative bytes)")
 	r := experiments.Fig5(cfg, 2)
-	fmt.Printf("page %s\n", r.Page)
+	fmt.Fprintf(w, "page %s\n", r.Page)
 	for _, s := range r.Series {
 		lastAt, lastBytes := time.Duration(0), int64(0)
 		if n := len(s.Points); n > 0 {
 			lastAt, lastBytes = s.Points[n-1].At, s.Points[n-1].Bytes
 		}
-		fmt.Printf("  %-14s transfers=%3d done=%6.2fs bytes=%8d", s.Scheme, len(s.Points), lastAt.Seconds(), lastBytes)
+		fmt.Fprintf(w, "  %-14s transfers=%3d done=%6.2fs bytes=%8d", s.Scheme, len(s.Points), lastAt.Seconds(), lastBytes)
 		if s.Bundles > 0 {
-			fmt.Printf(" bundles=%d", s.Bundles)
+			fmt.Fprintf(w, " bundles=%d", s.Bundles)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
-func fig6a(cfg experiments.Config) {
-	header("Figure 6a: per-page download timeline, PARCEL vs DIR (largest page)")
+func fig6a(w io.Writer, cfg experiments.Config) {
+	header(w, "Figure 6a: per-page download timeline, PARCEL vs DIR (largest page)")
 	r := experiments.Fig6a(cfg)
-	fmt.Printf("page %s\n", r.Page)
-	fmt.Printf("  PARCEL proxy onload  %6.2fs\n", r.ProxyOnload.Seconds())
-	fmt.Printf("  PARCEL client OLT    %6.2fs\n", r.ParcelClientOLT.Seconds())
-	fmt.Printf("  DIR client OLT       %6.2fs\n", r.DIRClientOLT.Seconds())
-	fmt.Printf("  timeline samples (time -> cumulative MB):\n")
-	printTimeline("proxy", r.ProxySeries)
-	printTimeline("PARCEL client", r.ParcelSeries)
-	printTimeline("DIR client", r.DIRSeries)
+	fmt.Fprintf(w, "page %s\n", r.Page)
+	fmt.Fprintf(w, "  PARCEL proxy onload  %6.2fs\n", r.ProxyOnload.Seconds())
+	fmt.Fprintf(w, "  PARCEL client OLT    %6.2fs\n", r.ParcelClientOLT.Seconds())
+	fmt.Fprintf(w, "  DIR client OLT       %6.2fs\n", r.DIRClientOLT.Seconds())
+	fmt.Fprintf(w, "  timeline samples (time -> cumulative MB):\n")
+	printTimeline(w, "proxy", r.ProxySeries)
+	printTimeline(w, "PARCEL client", r.ParcelSeries)
+	printTimeline(w, "DIR client", r.DIRSeries)
 }
 
-func printTimeline(name string, pts []trace.Point) {
-	fmt.Printf("    %-14s", name)
+func printTimeline(w io.Writer, name string, pts []trace.Point) {
+	fmt.Fprintf(w, "    %-14s", name)
 	if len(pts) == 0 {
-		fmt.Println(" (empty)")
+		fmt.Fprintln(w, " (empty)")
 		return
 	}
 	step := len(pts) / 6
@@ -183,49 +317,49 @@ func printTimeline(name string, pts []trace.Point) {
 		step = 1
 	}
 	for i := 0; i < len(pts); i += step {
-		fmt.Printf(" %0.1fs:%.2f", pts[i].At.Seconds(), float64(pts[i].Bytes)/1e6)
+		fmt.Fprintf(w, " %0.1fs:%.2f", pts[i].At.Seconds(), float64(pts[i].Bytes)/1e6)
 	}
 	last := pts[len(pts)-1]
-	fmt.Printf(" %0.1fs:%.2f\n", last.At.Seconds(), float64(last.Bytes)/1e6)
+	fmt.Fprintf(w, " %0.1fs:%.2f\n", last.At.Seconds(), float64(last.Bytes)/1e6)
 }
 
-func fig6b(cfg experiments.Config) {
-	header("Figure 6b: latency CDFs, PARCEL(IND) vs DIR")
+func fig6b(w io.Writer, cfg experiments.Config) {
+	header(w, "Figure 6b: latency CDFs, PARCEL(IND) vs DIR")
 	r := experiments.Fig6b(cfg)
-	cdfRows("latency", map[string][]float64{
+	cdfRows(w, "latency", map[string][]float64{
 		"PARCEL OLT": r.ParcelOLT,
 		"PARCEL TLT": r.ParcelTLT,
 		"DIR OLT":    r.DIROLT,
 		"DIR TLT":    r.DIRTLT,
 	}, "seconds")
-	cdfSteps("PARCEL OLT", r.ParcelOLT)
-	cdfSteps("DIR OLT", r.DIROLT)
+	cdfSteps(w, "PARCEL OLT", r.ParcelOLT)
+	cdfSteps(w, "DIR OLT", r.DIROLT)
 	fracUnder := func(xs []float64, v float64) float64 { return stats.CDFAt(xs, v) }
-	fmt.Printf("paper: 70%% of pages < 3 s PARCEL OLT; 10%% of pages < 3 s DIR OLT\n")
-	fmt.Printf("measured: %.0f%% PARCEL OLT < 3 s; %.0f%% DIR OLT < 3 s\n",
+	fmt.Fprintf(w, "paper: 70%% of pages < 3 s PARCEL OLT; 10%% of pages < 3 s DIR OLT\n")
+	fmt.Fprintf(w, "measured: %.0f%% PARCEL OLT < 3 s; %.0f%% DIR OLT < 3 s\n",
 		100*fracUnder(r.ParcelOLT, 3), 100*fracUnder(r.DIROLT, 3))
 }
 
-func fig6c(cfg experiments.Config) {
-	header("Figure 6c: total-latency reduction vs number of HTTP requests")
+func fig6c(w io.Writer, cfg experiments.Config) {
+	header(w, "Figure 6c: total-latency reduction vs number of HTTP requests")
 	r := experiments.Fig6c(cfg)
 	for _, p := range r.Points {
-		fmt.Printf("  %-14s requests=%4d reduction=%6.2fs\n", p.Page, p.HTTPRequests, p.ReductionSec)
+		fmt.Fprintf(w, "  %-14s requests=%4d reduction=%6.2fs\n", p.Page, p.HTTPRequests, p.ReductionSec)
 	}
-	fmt.Printf("correlation: measured %.2f (paper: 0.83)\n", r.Correlation)
+	fmt.Fprintf(w, "correlation: measured %.2f (paper: 0.83)\n", r.Correlation)
 }
 
-func fig7a(cfg experiments.Config) {
-	header("Figure 7a: RRC states over time (interactive page)")
+func fig7a(w io.Writer, cfg experiments.Config) {
+	header(w, "Figure 7a: RRC states over time (interactive page)")
 	r := experiments.Fig7a(cfg)
-	fmt.Printf("page %s\n", r.Page)
-	fmt.Printf("  DIR:    transitions=%2d energy=%5.2fJ onload=%5.2fs\n",
+	fmt.Fprintf(w, "page %s\n", r.Page)
+	fmt.Fprintf(w, "  DIR:    transitions=%2d energy=%5.2fJ onload=%5.2fs\n",
 		r.DIRTransitions, r.DIREnergy, r.DIROnload.Seconds())
-	fmt.Printf("  PARCEL: transitions=%2d energy=%5.2fJ onload=%5.2fs\n",
+	fmt.Fprintf(w, "  PARCEL: transitions=%2d energy=%5.2fJ onload=%5.2fs\n",
 		r.ParcelTransitions, r.ParcelEnergy, r.ParcelOnload.Seconds())
-	fmt.Printf("paper example (ebay.com): DIR 22 transitions / 11.16 J; PARCEL 7 / 5.63 J\n")
-	fmt.Printf("  DIR state timeline:    %s\n", compressIntervals(r.DIRIntervals))
-	fmt.Printf("  PARCEL state timeline: %s\n", compressIntervals(r.ParcelIntervals))
+	fmt.Fprintf(w, "paper example (ebay.com): DIR 22 transitions / 11.16 J; PARCEL 7 / 5.63 J\n")
+	fmt.Fprintf(w, "  DIR state timeline:    %s\n", compressIntervals(r.DIRIntervals))
+	fmt.Fprintf(w, "  PARCEL state timeline: %s\n", compressIntervals(r.ParcelIntervals))
 }
 
 // compressIntervals renders an RRC interval sequence as "STATE(dur) ...".
@@ -244,23 +378,23 @@ func compressIntervals(ivs []radio.Interval) string {
 	return b.String()
 }
 
-func fig7bc(cfg experiments.Config, target string) {
+func fig7bc(w io.Writer, cfg experiments.Config, target string) {
 	r := experiments.Fig7bc(cfg)
 	if target == "fig7b" {
-		header("Figure 7b: per-page median radio energy, PARCEL vs DIR")
-		cdfRows("radio energy", map[string][]float64{
+		header(w, "Figure 7b: per-page median radio energy, PARCEL vs DIR")
+		cdfRows(w, "radio energy", map[string][]float64{
 			"PARCEL": r.ParcelEnergy,
 			"DIR":    r.DIREnergy,
 		}, "joules")
-		fmt.Printf("paper: PARCEL < 4 J for 80%% of pages (max 8 J); DIR < 4 J for 38%% (max 13 J)\n")
-		fmt.Printf("measured: PARCEL < 4 J for %.0f%%; DIR < 4 J for %.0f%%\n",
+		fmt.Fprintf(w, "paper: PARCEL < 4 J for 80%% of pages (max 8 J); DIR < 4 J for 38%% (max 13 J)\n")
+		fmt.Fprintf(w, "measured: PARCEL < 4 J for %.0f%%; DIR < 4 J for %.0f%%\n",
 			100*stats.CDFAt(r.ParcelEnergy, 4), 100*stats.CDFAt(r.DIREnergy, 4))
 		return
 	}
-	header("Figure 7c: radio-energy savings fraction per page (and CR share)")
+	header(w, "Figure 7c: radio-energy savings fraction per page (and CR share)")
 	atLeast20, atLeast50, crHalf := 0, 0, 0
 	for i := range r.Pages {
-		fmt.Printf("  %-14s saving=%5.1f%% CR-share=%5.1f%%\n",
+		fmt.Fprintf(w, "  %-14s saving=%5.1f%% CR-share=%5.1f%%\n",
 			r.Pages[i], 100*r.TotalSavings[i], 100*r.CRSavingShare[i])
 		if r.TotalSavings[i] >= 0.20 {
 			atLeast20++
@@ -273,34 +407,34 @@ func fig7bc(cfg experiments.Config, target string) {
 		}
 	}
 	n := len(r.Pages)
-	fmt.Printf("paper: >= 20%% saving for 95%% of pages; >= 50%% for half; CR accounts for >= 50%% of savings on 85%%\n")
-	fmt.Printf("measured: >= 20%% on %d/%d; >= 50%% on %d/%d; CR-dominant on %d/%d\n",
+	fmt.Fprintf(w, "paper: >= 20%% saving for 95%% of pages; >= 50%% for half; CR accounts for >= 50%% of savings on 85%%\n")
+	fmt.Fprintf(w, "measured: >= 20%% on %d/%d; >= 50%% on %d/%d; CR-dominant on %d/%d\n",
 		atLeast20, n, atLeast50, n, crHalf, n)
 }
 
-func fig8(cfg experiments.Config) {
-	header("Figure 8: cumulative radio & total device energy over a user session")
+func fig8(w io.Writer, cfg experiments.Config) {
+	header(w, "Figure 8: cumulative radio & total device energy over a user session")
 	r := experiments.Fig8(cfg)
-	fmt.Printf("page %s, %d clicks at 60 s intervals\n", r.Page, r.Clicks)
-	fmt.Printf("%-8s", "event")
+	fmt.Fprintf(w, "page %s, %d clicks at 60 s intervals\n", r.Page, r.Clicks)
+	fmt.Fprintf(w, "%-8s", "event")
 	for _, s := range r.Results {
-		fmt.Printf(" | %-9s radio/total", s.Scheme)
+		fmt.Fprintf(w, " | %-9s radio/total", s.Scheme)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	if len(r.Results) > 0 {
 		for i := range r.Results[0].Points {
-			fmt.Printf("%-8s", r.Results[0].Points[i].Label)
+			fmt.Fprintf(w, "%-8s", r.Results[0].Points[i].Label)
 			for _, s := range r.Results {
-				fmt.Printf(" | %7.2fJ / %7.2fJ   ", s.Points[i].CumRadioJ, s.Points[i].CumTotalJ)
+				fmt.Fprintf(w, " | %7.2fJ / %7.2fJ   ", s.Points[i].CumRadioJ, s.Points[i].CumTotalJ)
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	}
-	fmt.Println("paper: CB radio grows every click; PARCEL/DIR flat; CB total lowest at FD but highest by C4")
+	fmt.Fprintln(w, "paper: CB radio grows every click; PARCEL/DIR flat; CB total lowest at FD but highest by C4")
 }
 
-func fig9(cfg experiments.Config) {
-	header("Figure 9: bundling variants vs PARCEL(IND)")
+func fig9(w io.Writer, cfg experiments.Config) {
+	header(w, "Figure 9: bundling variants vs PARCEL(IND)")
 	r := experiments.Fig9(cfg)
 	olt := map[string][]float64{}
 	energy := map[string][]float64{}
@@ -308,95 +442,95 @@ func fig9(cfg experiments.Config) {
 		olt[v] = r.OLTIncrease[v]
 		energy[v] = r.EnergyIncrease[v]
 	}
-	fmt.Println("(9a) OLT increase over IND:")
-	cdfRows("variant", olt, "seconds")
-	fmt.Println("(9b) radio-energy increase over IND:")
-	cdfRows("variant", energy, "joules")
-	fmt.Println("(9c) page size vs energy increase for PARCEL(512K):")
+	fmt.Fprintln(w, "(9a) OLT increase over IND:")
+	cdfRows(w, "variant", olt, "seconds")
+	fmt.Fprintln(w, "(9b) radio-energy increase over IND:")
+	cdfRows(w, "variant", energy, "joules")
+	fmt.Fprintln(w, "(9c) page size vs energy increase for PARCEL(512K):")
 	for i := range r.PageBytes {
-		fmt.Printf("  %6.2fMB  %+6.2fJ\n", r.PageBytes[i]/1e6, r.EnergyIncrease["PARCEL(512K)"][i])
+		fmt.Fprintf(w, "  %6.2fMB  %+6.2fJ\n", r.PageBytes[i]/1e6, r.EnergyIncrease["PARCEL(512K)"][i])
 	}
-	fmt.Println("paper: ONLD OLT increase ≈ 0.57 s, 512K ≈ 0.11 s; 512K saves energy on ~60% of pages, mainly large ones")
+	fmt.Fprintln(w, "paper: ONLD OLT increase ≈ 0.57 s, 512K ≈ 0.11 s; 512K saves energy on ~60% of pages, mainly large ones")
 }
 
-func fig1011(cfg experiments.Config, target string) {
+func fig1011(w io.Writer, cfg experiments.Config, target string) {
 	r := experiments.Fig1011(cfg)
 	if target == "fig10" {
-		header("Figure 10: OLT with real web servers (heterogeneous origin RTTs)")
-		cdfRows("OLT", map[string][]float64{
+		header(w, "Figure 10: OLT with real web servers (heterogeneous origin RTTs)")
+		cdfRows(w, "OLT", map[string][]float64{
 			"PARCEL(512K)": r.ParcelOLT,
 			"DIR":          r.DIROLT,
 		}, "seconds")
-		fmt.Printf("paper: PARCEL(512K) median < 2.5 s vs DIR ≈ 6 s\n")
+		fmt.Fprintf(w, "paper: PARCEL(512K) median < 2.5 s vs DIR ≈ 6 s\n")
 		return
 	}
-	header("Figure 11: radio energy with real web servers")
-	cdfRows("radio energy", map[string][]float64{
+	header(w, "Figure 11: radio energy with real web servers")
+	cdfRows(w, "radio energy", map[string][]float64{
 		"PARCEL(512K)": r.ParcelEnergy,
 		"DIR":          r.DIREnergy,
 	}, "joules")
-	fmt.Printf("paper: PARCEL(512K) all pages < 6.5 J; DIR significantly higher for ~40%% of pages\n")
+	fmt.Fprintf(w, "paper: PARCEL(512K) all pages < 6.5 J; DIR significantly higher for ~40%% of pages\n")
 }
 
-func model() {
-	header("§6 analytical model: optimal bundle size")
+func model(w io.Writer) {
+	header(w, "§6 analytical model: optimal bundle size")
 	m := experiments.Model()
-	fmt.Printf("alpha: measured %.3f (paper: %.2f)\n", m.Alpha, m.PaperAlpha)
-	fmt.Printf("b* for 2 MB page at 6 Mbps: %.0f KB (paper: ≈ 900 KB)\n", m.OptimalBundle/1e3)
-	fmt.Printf("E(n)/OLT(n) trade-off (Tp = 2 s):\n")
+	fmt.Fprintf(w, "alpha: measured %.3f (paper: %.2f)\n", m.Alpha, m.PaperAlpha)
+	fmt.Fprintf(w, "b* for 2 MB page at 6 Mbps: %.0f KB (paper: ≈ 900 KB)\n", m.OptimalBundle/1e3)
+	fmt.Fprintf(w, "E(n)/OLT(n) trade-off (Tp = 2 s):\n")
 	for _, pt := range m.Curve {
 		if int(pt.N)%4 == 1 || pt.N == m.MinEnergyN {
-			fmt.Printf("  n=%2.0f  OLT=%5.2fs  E=%6.2fJ\n", pt.N, pt.OLT.Seconds(), pt.EnergyJ)
+			fmt.Fprintf(w, "  n=%2.0f  OLT=%5.2fs  E=%6.2fJ\n", pt.N, pt.OLT.Seconds(), pt.EnergyJ)
 		}
 	}
-	fmt.Printf("energy-minimizing n on curve: %.0f\n", m.MinEnergyN)
+	fmt.Fprintf(w, "energy-minimizing n on curve: %.0f\n", m.MinEnergyN)
 }
 
-func delay(cfg experiments.Config) {
-	header("§8.3 sensitivity: proxy↔server delay 20 ms vs 60 ms")
+func delay(w io.Writer, cfg experiments.Config) {
+	header(w, "§8.3 sensitivity: proxy↔server delay 20 ms vs 60 ms")
 	r := experiments.DelaySensitivity(cfg)
 	for _, rtt := range r.RTTs {
 		k := rtt.String()
-		fmt.Printf("  RTT %-6s IND OLT=%5.2fs E=%5.2fJ | ONLD OLT=%5.2fs E=%5.2fJ\n", k,
+		fmt.Fprintf(w, "  RTT %-6s IND OLT=%5.2fs E=%5.2fJ | ONLD OLT=%5.2fs E=%5.2fJ\n", k,
 			r.MedianOLT[k]["PARCEL(IND)"], r.MedianEnergy[k]["PARCEL(IND)"],
 			r.MedianOLT[k]["PARCEL(ONLD)"], r.MedianEnergy[k]["PARCEL(ONLD)"])
 	}
-	fmt.Println("paper: higher delay raises ONLD's latency penalty but improves its relative energy")
+	fmt.Fprintln(w, "paper: higher delay raises ONLD's latency penalty but improves its relative energy")
 }
 
-func table1(cfg experiments.Config) {
-	header("Table 1: PARCEL vs existing approaches")
-	fmt.Printf("%-28s %-12s %-12s %-14s %-10s\n", "property", "HTTP proxies", "SPDY proxies", "cloud browsers", "PARCEL")
+func table1(w io.Writer, cfg experiments.Config) {
+	header(w, "Table 1: PARCEL vs existing approaches")
+	fmt.Fprintf(w, "%-28s %-12s %-12s %-14s %-10s\n", "property", "HTTP proxies", "SPDY proxies", "cloud browsers", "PARCEL")
 	for _, row := range experiments.Table1Static() {
-		fmt.Printf("%-28s %-12s %-12s %-14s %-10s\n", row.Property, row.HTTPProxy, row.SPDYProxy, row.CloudBrowser, row.PARCEL)
+		fmt.Fprintf(w, "%-28s %-12s %-12s %-14s %-10s\n", row.Property, row.HTTPProxy, row.SPDYProxy, row.CloudBrowser, row.PARCEL)
 	}
 	m := experiments.MeasureTable1(cfg)
-	fmt.Printf("measured backing: PARCEL client %d conn / %d request; DIR client %d conns / %d requests; proxy identified %d objects; interaction packets %d\n",
+	fmt.Fprintf(w, "measured backing: PARCEL client %d conn / %d request; DIR client %d conns / %d requests; proxy identified %d objects; interaction packets %d\n",
 		m.ParcelClientConns, m.ParcelClientRequests, m.DIRClientConns, m.DIRClientRequests, m.ParcelProxyIdentified, m.InteractionPackets)
 }
 
-func spdy(cfg experiments.Config) {
-	header("Extension: DIR vs SPDY transport vs PARCEL (the §9 future-work comparison)")
+func spdy(w io.Writer, cfg experiments.Config) {
+	header(w, "Extension: DIR vs SPDY transport vs PARCEL (the §9 future-work comparison)")
 	r := experiments.SPDYComparison(cfg)
-	cdfRows("OLT", map[string][]float64{
+	cdfRows(w, "OLT", map[string][]float64{
 		"DIR":         r.DIROLT,
 		"SPDY":        r.SPDYOLT,
 		"PARCEL(IND)": r.ParcelOLT,
 	}, "seconds")
-	cdfRows("radio energy", map[string][]float64{
+	cdfRows(w, "radio energy", map[string][]float64{
 		"DIR":         r.DIREnergy,
 		"SPDY":        r.SPDYEnergy,
 		"PARCEL(IND)": r.ParcelEnergy,
 	}, "joules")
-	fmt.Println("expectation (§3/§4.3): SPDY transport improves on DIR, but client-side")
-	fmt.Println("discovery still bounds it — PARCEL retains its advantage")
+	fmt.Fprintln(w, "expectation (§3/§4.3): SPDY transport improves on DIR, but client-side")
+	fmt.Fprintln(w, "discovery still bounds it — PARCEL retains its advantage")
 }
 
-func summary(cfg experiments.Config) {
-	header("Headline: PARCEL vs DIR")
+func summary(w io.Writer, cfg experiments.Config) {
+	header(w, "Headline: PARCEL vs DIR")
 	s := experiments.Headline(cfg)
-	fmt.Printf("median OLT: DIR %.2f s -> PARCEL %.2f s  (reduction %.1f%%; paper %.1f%%)\n",
+	fmt.Fprintf(w, "median OLT: DIR %.2f s -> PARCEL %.2f s  (reduction %.1f%%; paper %.1f%%)\n",
 		s.DIRMedianOLT, s.ParcelMedianOLT, 100*s.OLTReduction, 100*s.PaperOLTReduction)
-	fmt.Printf("median radio energy: DIR %.2f J -> PARCEL %.2f J  (reduction %.1f%%; paper %.1f%%)\n",
+	fmt.Fprintf(w, "median radio energy: DIR %.2f J -> PARCEL %.2f J  (reduction %.1f%%; paper %.1f%%)\n",
 		s.DIRMedianEnergy, s.ParcelMedianEnergy, 100*s.EnergyReduction, 100*s.PaperEnergyReduction)
 }

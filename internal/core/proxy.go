@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"github.com/parcel-go/parcel/internal/browser"
@@ -83,6 +82,10 @@ type ProxySession struct {
 
 	// cache holds every object collected (for fallback requests).
 	cache map[string]sched.Item
+	// arrivals records cache insertions in arrival order. Simulation time is
+	// monotone, so the slice is sorted by ArrivedAt by construction — it lets
+	// DownloadTimeline build its series without re-sorting the cache.
+	arrivals []arrival
 
 	quietTimer   *eventsim.Event
 	onloadSeen   bool
@@ -146,10 +149,13 @@ func (s *ProxySession) startPage(req pageRequest) {
 	topo := s.proxy.topo
 	cfg := s.proxy.cfg
 	if s.cache == nil {
-		s.cache = make(map[string]sched.Item)
+		// Size both maps for the page up front: a session collects roughly
+		// one entry per page object, and growing a map re-hashes every entry.
+		s.cache = make(map[string]sched.Item, topo.Page.ObjectCount)
+		s.arrivals = make([]arrival, 0, topo.Page.ObjectCount)
 	}
 	if s.sent == nil {
-		s.sent = make(map[string]bool)
+		s.sent = make(map[string]bool, topo.Page.ObjectCount)
 	}
 	s.onloadSeen = false
 	s.completeSent = false
@@ -176,20 +182,32 @@ func (s *ProxySession) startPage(req pageRequest) {
 	s.engine.Load(req.URL)
 }
 
+// arrival is one cache insertion, remembered under its cache key.
+type arrival struct {
+	key string
+	it  sched.Item
+}
+
+// storeItem inserts it into the cache under key and logs the arrival.
+func (s *ProxySession) storeItem(key string, it sched.Item) {
+	s.cache[key] = it
+	s.arrivals = append(s.arrivals, arrival{key: key, it: it})
+}
+
 // DownloadTimeline returns the proxy-side cumulative download series: bytes
 // collected from origin servers over time (the "PARCEL Proxy Timeline" curve
-// of Figure 6a).
+// of Figure 6a). The arrival log is already in time order, so no sort is
+// needed; entries superseded by a later arrival of the same URL (a revisit
+// re-fetch) are skipped, matching the cache's latest-wins contents.
 func (s *ProxySession) DownloadTimeline() []trace.Point {
-	items := make([]sched.Item, 0, len(s.cache))
-	for _, it := range s.cache {
-		items = append(items, it)
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i].ArrivedAt < items[j].ArrivedAt })
-	points := make([]trace.Point, 0, len(items))
+	points := make([]trace.Point, 0, len(s.arrivals))
 	var total int64
-	for _, it := range items {
-		total += int64(len(it.Body))
-		points = append(points, trace.Point{At: it.ArrivedAt, Bytes: total})
+	for _, a := range s.arrivals {
+		if cur, ok := s.cache[a.key]; !ok || cur.ArrivedAt != a.it.ArrivedAt {
+			continue
+		}
+		total += int64(len(a.it.Body))
+		points = append(points, trace.Point{At: a.it.ArrivedAt, Bytes: total})
 	}
 	return points
 }
@@ -201,13 +219,13 @@ func (s *ProxySession) collect(it sched.Item) {
 		// Already mirrored at the client (same version): no redundant
 		// transfer (§4.5).
 		s.MirrorHits++
-		s.cache[it.URL] = it
+		s.storeItem(it.URL, it)
 		if s.onloadSeen && !s.completeSent {
 			s.armQuietTimer()
 		}
 		return
 	}
-	s.cache[it.URL] = it
+	s.storeItem(it.URL, it)
 	if !s.completeSent {
 		s.bundler.Add(it)
 		if s.onloadSeen {
@@ -285,7 +303,7 @@ func (s *ProxySession) serveFallback(url string) {
 func (s *ProxySession) fetchForFallback(url string) {
 	s.fetcher.client.Do(httpsim.Request{Method: "GET", URL: url}, func(resp httpsim.Response, at time.Duration) {
 		it := sched.Item{URL: resp.URL, ContentType: resp.ContentType, Status: resp.Status, Body: resp.Body, ArrivedAt: at}
-		s.cache[url] = it
+		s.storeItem(url, it)
 		rsp := objectResponse{Item: it}
 		s.conn.Send(s.proxy.topo.Proxy, rsp.wireSize(), rsp, labelBundle, nil)
 	})

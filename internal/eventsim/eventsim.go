@@ -66,8 +66,23 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// eventBlockSize is how many Events one arena block holds. Events are the
+// dominant allocation of a simulation run (two-plus per packet), so they are
+// carved out of append-only blocks: one heap allocation per block instead of
+// one per event. Blocks are never reused within a simulation, which keeps
+// outstanding *Event handles (e.g. a held cancellation timer) valid for the
+// simulator's whole lifetime.
+const eventBlockSize = 256
+
 // Simulator owns the virtual clock and the pending-event queue.
 // The zero value is not usable; construct with New.
+//
+// A Simulator is owned by a single goroutine: it is not safe for concurrent
+// use, and every Schedule/Step/Run call must come from the goroutine that is
+// driving the simulation. Parallel experiment runners get their concurrency
+// by building one private Simulator (topology) per task, never by sharing
+// one. Build with -tags simdebug to turn this contract into a runtime check
+// that panics on cross-goroutine use instead of corrupting the event heap.
 type Simulator struct {
 	now    time.Duration
 	queue  eventHeap
@@ -75,12 +90,31 @@ type Simulator struct {
 	rng    *rand.Rand
 	fired  uint64
 	inStep bool
+
+	arena []Event // current arena block; see eventBlockSize
+
+	owner int64 // owning goroutine id; maintained only under -tags simdebug
 }
 
 // New returns a simulator whose clock starts at zero and whose random source
 // is seeded with seed.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	s := &Simulator{
+		rng:   rand.New(rand.NewSource(seed)),
+		queue: make(eventHeap, 0, eventBlockSize),
+	}
+	s.claimOwner()
+	return s
+}
+
+// newEvent carves an event out of the arena.
+func (s *Simulator) newEvent() *Event {
+	if len(s.arena) == 0 {
+		s.arena = make([]Event, eventBlockSize)
+	}
+	e := &s.arena[0]
+	s.arena = s.arena[1:]
+	return e
 }
 
 // Now returns the current virtual time.
@@ -115,8 +149,10 @@ func (s *Simulator) ScheduleAt(t time.Duration, fn func()) *Event {
 	if fn == nil {
 		panic("eventsim: nil event function")
 	}
+	s.checkOwner()
 	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	e := s.newEvent()
+	*e = Event{at: t, seq: s.seq, fn: fn, index: -1}
 	heap.Push(&s.queue, e)
 	return e
 }
@@ -124,6 +160,7 @@ func (s *Simulator) ScheduleAt(t time.Duration, fn func()) *Event {
 // Step executes the earliest pending event, advancing the clock to its
 // scheduled time. It returns false when no events remain.
 func (s *Simulator) Step() bool {
+	s.checkOwner()
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*Event)
 		if e.cancel {

@@ -1,0 +1,11 @@
+//go:build !simdebug
+
+package eventsim
+
+// claimOwner and checkOwner enforce the Simulator's single-goroutine
+// ownership contract. In normal builds they compile to nothing; build with
+// -tags simdebug to make cross-goroutine use panic (see ownercheck_on.go).
+
+func (s *Simulator) claimOwner() {}
+
+func (s *Simulator) checkOwner() {}

@@ -1,0 +1,41 @@
+//go:build simdebug
+
+package eventsim
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+)
+
+// With -tags simdebug every Simulator remembers the goroutine that built it
+// and panics when another goroutine schedules or steps it. A parallel-runner
+// bug that leaks a topology across workers then fails loudly at the offending
+// call site instead of silently corrupting the event heap.
+
+func (s *Simulator) claimOwner() { s.owner = goroutineID() }
+
+func (s *Simulator) checkOwner() {
+	if gid := goroutineID(); gid != s.owner {
+		panic(fmt.Sprintf(
+			"eventsim: Simulator owned by goroutine %d used from goroutine %d; "+
+				"a Simulator must be driven by a single goroutine", s.owner, gid))
+	}
+}
+
+// goroutineID parses the current goroutine's id out of the runtime stack
+// header ("goroutine 18 [running]:"). Slow, but this is a debug-only build.
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		panic("eventsim: cannot parse runtime.Stack header")
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		panic("eventsim: cannot parse goroutine id: " + err.Error())
+	}
+	return id
+}

@@ -1,0 +1,34 @@
+//go:build simdebug
+
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+// Run with: go test -tags simdebug ./internal/eventsim/
+
+func TestOwnerCheckPanicsCrossGoroutine(t *testing.T) {
+	s := New(1)
+	s.Schedule(time.Millisecond, func() {}) // owner use is fine
+
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		s.Schedule(time.Millisecond, func() {})
+	}()
+	if r := <-done; r == nil {
+		t.Fatal("cross-goroutine Schedule did not panic under simdebug")
+	}
+}
+
+func TestOwnerCheckAllowsOwningGoroutine(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(time.Millisecond, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+}

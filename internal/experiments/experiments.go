@@ -10,6 +10,7 @@ import (
 	"github.com/parcel-go/parcel/internal/core"
 	"github.com/parcel-go/parcel/internal/dirbrowser"
 	"github.com/parcel-go/parcel/internal/metrics"
+	"github.com/parcel-go/parcel/internal/runner"
 	"github.com/parcel-go/parcel/internal/scenario"
 	"github.com/parcel-go/parcel/internal/sched"
 	"github.com/parcel-go/parcel/internal/stats"
@@ -30,6 +31,12 @@ type Config struct {
 	Jitter time.Duration
 	// Scenario overrides the topology defaults (zero value = defaults).
 	Scenario scenario.Params
+	// Parallelism bounds the worker pool that fans out independent
+	// (page, scheme, round) simulations: 0 (the default) means one worker
+	// per CPU, 1 forces the serial path. Every task derives its jitter seed
+	// from (Seed, round) alone, so results are bit-for-bit identical at any
+	// parallelism level.
+	Parallelism int
 }
 
 // DefaultConfig returns the standard evaluation configuration.
@@ -91,26 +98,40 @@ func RunOnce(page webgen.Page, s Scheme, cfg Config, seed int64) metrics.PageRun
 	return core.Run(topo, pc, core.DefaultClientConfig())
 }
 
-// MedianRun loads a page cfg.Runs times with different jitter seeds and
-// returns the per-metric medians (the paper's median-of-rounds reduction,
-// §7.1), along with one representative run for trace-level detail.
-func MedianRun(page webgen.Page, s Scheme, cfg Config) metrics.PageRun {
-	cfg = cfg.withDefaults()
-	var olts, tlts, radios []float64
-	var rep metrics.PageRun
-	for r := 0; r < cfg.Runs; r++ {
-		run := RunOnce(page, s, cfg, cfg.Seed+int64(r)*7919)
-		if r == 0 {
-			rep = run
-		}
-		olts = append(olts, run.OLT.Seconds())
-		tlts = append(tlts, run.TLT.Seconds())
-		radios = append(radios, run.RadioJ)
+// roundSeed derives the jitter seed of measurement round r. It depends only
+// on the experiment seed and the round index — never on execution order —
+// which is what makes parallel sweeps reproduce serial output exactly.
+func roundSeed(cfg Config, r int) int64 { return cfg.Seed + int64(r)*7919 }
+
+// medianReduce collapses the per-round runs of one (page, scheme) cell into
+// the paper's median-of-rounds reduction (§7.1): per-metric medians on top of
+// round 0 as the representative run for trace-level detail.
+func medianReduce(runs []metrics.PageRun) metrics.PageRun {
+	olts := make([]float64, len(runs))
+	tlts := make([]float64, len(runs))
+	radios := make([]float64, len(runs))
+	for i, run := range runs {
+		olts[i] = run.OLT.Seconds()
+		tlts[i] = run.TLT.Seconds()
+		radios[i] = run.RadioJ
 	}
+	rep := runs[0]
 	rep.OLT = time.Duration(stats.Median(olts) * float64(time.Second))
 	rep.TLT = time.Duration(stats.Median(tlts) * float64(time.Second))
 	rep.RadioJ = stats.Median(radios)
 	return rep
+}
+
+// MedianRun loads a page cfg.Runs times with different jitter seeds and
+// returns the per-metric medians (the paper's median-of-rounds reduction,
+// §7.1), along with one representative run for trace-level detail. Rounds
+// run on the cfg.Parallelism worker pool.
+func MedianRun(page webgen.Page, s Scheme, cfg Config) metrics.PageRun {
+	cfg = cfg.withDefaults()
+	runs := runner.Map(cfg.Parallelism, cfg.Runs, func(r int) metrics.PageRun {
+		return RunOnce(page, s, cfg, roundSeed(cfg, r))
+	})
+	return medianReduce(runs)
 }
 
 // PageResult couples a page with its per-scheme median runs.
@@ -119,15 +140,27 @@ type PageResult struct {
 	Runs map[string]metrics.PageRun // keyed by scheme name
 }
 
-// Sweep runs every scheme over every page.
+// Sweep runs every scheme over every page. It fans every (page, scheme,
+// round) simulation out as one task on the cfg.Parallelism worker pool —
+// the flattening exposes the evaluation's full width (pages × schemes ×
+// rounds independent topologies) to the pool — and then reduces rounds to
+// medians in index order, so the result is identical to the serial
+// page-by-page loop at any parallelism level.
 func Sweep(cfg Config, schemes []Scheme) []PageResult {
 	cfg = cfg.withDefaults()
 	pages := cfg.PageSet()
+	nSchemes, nRuns := len(schemes), cfg.Runs
+	runs := runner.Map(cfg.Parallelism, len(pages)*nSchemes*nRuns, func(i int) metrics.PageRun {
+		page := pages[i/(nSchemes*nRuns)]
+		s := schemes[i/nRuns%nSchemes]
+		return RunOnce(page, s, cfg, roundSeed(cfg, i%nRuns))
+	})
 	out := make([]PageResult, 0, len(pages))
-	for _, page := range pages {
-		pr := PageResult{Page: page, Runs: make(map[string]metrics.PageRun, len(schemes))}
-		for _, s := range schemes {
-			pr.Runs[s.Name] = MedianRun(page, s, cfg)
+	for pi, page := range pages {
+		pr := PageResult{Page: page, Runs: make(map[string]metrics.PageRun, nSchemes)}
+		for si, s := range schemes {
+			cell := (pi*nSchemes + si) * nRuns
+			pr.Runs[s.Name] = medianReduce(runs[cell : cell+nRuns])
 		}
 		out = append(out, pr)
 	}

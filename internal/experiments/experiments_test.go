@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -297,5 +298,35 @@ func TestSweepDeterministic(t *testing.T) {
 		if ra.OLT != rb.OLT || ra.RadioJ != rb.RadioJ {
 			t.Fatalf("sweep not deterministic on page %d", i)
 		}
+	}
+}
+
+// TestSweepParallelMatchesSerial is the determinism contract of the runner
+// rewire: a parallel sweep must reproduce the serial sweep bit for bit —
+// every metric, trace point, and radio interval — because each task's seed
+// derives from (cfg.Seed, round) alone, never from execution order. Jitter
+// is on and rounds > 1 so the per-round seeds actually differ.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pages = 4
+	cfg.Runs = 3
+	cfg.Jitter = 2 * time.Millisecond
+	schemes := []Scheme{DIRScheme, ParcelScheme(sched.ConfigIND), ParcelScheme(sched.Config512K)}
+
+	cfg.Parallelism = 1
+	serial := Sweep(cfg, schemes)
+	cfg.Parallelism = 8
+	parallel := Sweep(cfg, schemes)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		for i := range serial {
+			for _, s := range schemes {
+				if !reflect.DeepEqual(serial[i].Runs[s.Name], parallel[i].Runs[s.Name]) {
+					t.Errorf("page %d scheme %s: serial %+v != parallel %+v",
+						i, s.Name, serial[i].Runs[s.Name], parallel[i].Runs[s.Name])
+				}
+			}
+		}
+		t.Fatal("parallel sweep diverged from serial sweep")
 	}
 }

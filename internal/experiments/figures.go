@@ -6,7 +6,9 @@ import (
 	"github.com/parcel-go/parcel/internal/browser"
 	"github.com/parcel-go/parcel/internal/core"
 	"github.com/parcel-go/parcel/internal/dirbrowser"
+	"github.com/parcel-go/parcel/internal/metrics"
 	"github.com/parcel-go/parcel/internal/radio"
+	"github.com/parcel-go/parcel/internal/runner"
 	"github.com/parcel-go/parcel/internal/scenario"
 	"github.com/parcel-go/parcel/internal/sched"
 	"github.com/parcel-go/parcel/internal/spdybrowser"
@@ -25,13 +27,15 @@ type Fig3Result struct {
 
 // Fig3 downloads the page set with the traditional browser over the LTE
 // access (mobile device) and over a wire-line access (desktop-class client),
-// the §2.3 motivation comparison.
+// the §2.3 motivation comparison. Pages run in parallel; the wired and
+// cellular arms of one page are two further independent tasks.
 func Fig3(cfg Config) Fig3Result {
 	cfg = cfg.withDefaults()
-	var out Fig3Result
-	for _, page := range cfg.PageSet() {
+	pages := cfg.PageSet()
+	type pagePair struct{ cell, wired float64 }
+	pairs := runner.Map(cfg.Parallelism, len(pages), func(i int) pagePair {
+		page := pages[i]
 		cell := MedianRun(page, DIRScheme, cfg)
-		out.CellularOLT = append(out.CellularOLT, cell.OLT.Seconds())
 
 		params := cfg.Scenario
 		params.Wired = true
@@ -43,7 +47,12 @@ func Fig3(cfg Config) Fig3Result {
 			RequestIssueCost: time.Millisecond,
 			MaxTotalConns:    35, // desktop-class pool
 		})
-		out.WiredOLT = append(out.WiredOLT, wired.OLT.Seconds())
+		return pagePair{cell: cell.OLT.Seconds(), wired: wired.OLT.Seconds()}
+	})
+	var out Fig3Result
+	for _, p := range pairs {
+		out.CellularOLT = append(out.CellularOLT, p.cell)
+		out.WiredOLT = append(out.WiredOLT, p.wired)
 	}
 	return out
 }
@@ -64,35 +73,37 @@ type Fig5Result struct {
 	Series []Fig5Series
 }
 
-// Fig5 reproduces the Figure 5 download-pattern comparison.
+// Fig5 reproduces the Figure 5 download-pattern comparison. The four arms
+// (DIR plus three PARCEL schedules) each build a private topology and run in
+// parallel.
 func Fig5(cfg Config, pageIndex int) Fig5Result {
 	cfg = cfg.withDefaults()
 	pages := cfg.PageSet()
 	page := pages[pageIndex%len(pages)]
-	out := Fig5Result{Page: page.Name}
 
 	params := cfg.Scenario
 	params.Seed = cfg.Seed
 
-	dTopo := scenario.Build(page, params)
-	dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
-	out.Series = append(out.Series, Fig5Series{
-		Scheme: "DIR", Points: dTopo.ClientTrace.CumulativeBytes(trace.Down),
-	})
-
-	for _, sc := range []sched.Config{sched.ConfigIND, sched.ConfigONLD, sched.Config512K} {
+	parcelScheds := []sched.Config{sched.ConfigIND, sched.ConfigONLD, sched.Config512K}
+	series := runner.Map(cfg.Parallelism, 1+len(parcelScheds), func(i int) Fig5Series {
+		if i == 0 {
+			dTopo := scenario.Build(page, params)
+			dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
+			return Fig5Series{Scheme: "DIR", Points: dTopo.ClientTrace.CumulativeBytes(trace.Down)}
+		}
+		sc := parcelScheds[i-1]
 		topo := scenario.Build(page, params)
 		pc := core.DefaultProxyConfig()
 		pc.Sched = sc
 		proxy := core.StartProxy(topo, pc)
 		core.NewClient(topo, core.DefaultClientConfig()).Load()
-		out.Series = append(out.Series, Fig5Series{
+		return Fig5Series{
 			Scheme:  sc.String(),
 			Points:  topo.ClientTrace.CumulativeBytes(trace.Down),
 			Bundles: proxy.Sessions[0].BundlesSent,
-		})
-	}
-	return out
+		}
+	})
+	return Fig5Result{Page: page.Name, Series: series}
 }
 
 // --- Figure 6a: per-page timeline ------------------------------------------
@@ -120,26 +131,37 @@ func Fig6a(cfg Config) Fig6aResult {
 			page = p
 		}
 	}
-	out := Fig6aResult{Page: page.Name}
 	params := cfg.Scenario
 	params.Seed = cfg.Seed
 
-	dTopo := scenario.Build(page, params)
-	dRun := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
-	out.DIRSeries = dTopo.ClientTrace.CumulativeBytes(trace.Down)
-	out.DIRClientOLT = dRun.OLT
-
-	pTopo := scenario.Build(page, params)
-	// Record the proxy-side download timeline via ObjectLoaded counting at
-	// the proxy session.
-	proxy := core.StartProxy(pTopo, core.DefaultProxyConfig())
-	client := core.NewClient(pTopo, core.DefaultClientConfig())
-	pRun := client.Load()
-	out.ParcelSeries = pTopo.ClientTrace.CumulativeBytes(trace.Down)
-	out.ParcelClientOLT = pRun.OLT
-	sess := proxy.Sessions[0]
-	out.ProxyOnload = sess.OnloadAt
-	out.ProxySeries = sess.DownloadTimeline()
+	// The DIR and PARCEL loads are independent topologies; run them as two
+	// parallel tasks and merge the halves.
+	halves := runner.Map(cfg.Parallelism, 2, func(i int) Fig6aResult {
+		var out Fig6aResult
+		if i == 0 {
+			dTopo := scenario.Build(page, params)
+			dRun := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
+			out.DIRSeries = dTopo.ClientTrace.CumulativeBytes(trace.Down)
+			out.DIRClientOLT = dRun.OLT
+			return out
+		}
+		pTopo := scenario.Build(page, params)
+		// Record the proxy-side download timeline via ObjectLoaded counting
+		// at the proxy session.
+		proxy := core.StartProxy(pTopo, core.DefaultProxyConfig())
+		client := core.NewClient(pTopo, core.DefaultClientConfig())
+		pRun := client.Load()
+		out.ParcelSeries = pTopo.ClientTrace.CumulativeBytes(trace.Down)
+		out.ParcelClientOLT = pRun.OLT
+		sess := proxy.Sessions[0]
+		out.ProxyOnload = sess.OnloadAt
+		out.ProxySeries = sess.DownloadTimeline()
+		return out
+	})
+	out := halves[1]
+	out.Page = page.Name
+	out.DIRSeries = halves[0].DIRSeries
+	out.DIRClientOLT = halves[0].DIRClientOLT
 	return out
 }
 
@@ -218,18 +240,22 @@ type Fig7aResult struct {
 	ParcelOnload      time.Duration
 }
 
-// Fig7a runs the interactive (ebay-style) page under both schemes.
+// Fig7a runs the interactive (ebay-style) page under both schemes (two
+// parallel tasks).
 func Fig7a(cfg Config) Fig7aResult {
 	cfg = cfg.withDefaults()
 	page := webgen.InteractivePage(cfg.PageSet())
 	params := cfg.Scenario
 	params.Seed = cfg.Seed
 
-	dTopo := scenario.Build(page, params)
-	dRun := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
-
-	pTopo := scenario.Build(page, params)
-	pRun := core.Run(pTopo, core.DefaultProxyConfig(), core.DefaultClientConfig())
+	runs := runner.Map(cfg.Parallelism, 2, func(i int) metrics.PageRun {
+		topo := scenario.Build(page, params)
+		if i == 0 {
+			return dirbrowser.Run(topo, dirbrowser.Options{FixedRandom: true})
+		}
+		return core.Run(topo, core.DefaultProxyConfig(), core.DefaultClientConfig())
+	})
+	dRun, pRun := runs[0], runs[1]
 
 	return Fig7aResult{
 		Page:              page.Name,
@@ -359,7 +385,9 @@ type DelaySensResult struct {
 	MedianEnergy map[string]map[string]float64
 }
 
-// DelaySensitivity runs the §8.3 sensitivity study (20 ms vs 60 ms).
+// DelaySensitivity runs the §8.3 sensitivity study (20 ms vs 60 ms). The
+// outer RTT loop stays serial: each iteration's Sweep already saturates the
+// worker pool, so nesting another fan-out would only add scheduling noise.
 func DelaySensitivity(cfg Config) DelaySensResult {
 	cfg = cfg.withDefaults()
 	out := DelaySensResult{
@@ -430,21 +458,30 @@ type SPDYResult struct {
 	DIREnergy, SPDYEnergy, ParcelEnergy []float64
 }
 
-// SPDYComparison sweeps the page set across the three arms.
+// SPDYComparison sweeps the page set across the three arms. Every
+// (page, arm) pair is an independent topology, so the sweep fans all of them
+// out on the worker pool and reassembles per-page triples in index order.
 func SPDYComparison(cfg Config) SPDYResult {
 	cfg = cfg.withDefaults()
-	var out SPDYResult
-	for _, page := range cfg.PageSet() {
+	pages := cfg.PageSet()
+	const arms = 3
+	runs := runner.Map(cfg.Parallelism, len(pages)*arms, func(i int) metrics.PageRun {
+		page := pages[i/arms]
 		params := cfg.Scenario
 		params.Seed = cfg.Seed
-
-		dTopo := scenario.Build(page, params)
-		d := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
-		sTopo := scenario.Build(page, params)
-		sp := spdybrowser.Run(sTopo, spdybrowser.Options{FixedRandom: true})
-		pTopo := scenario.Build(page, params)
-		p := core.Run(pTopo, core.DefaultProxyConfig(), core.DefaultClientConfig())
-
+		topo := scenario.Build(page, params)
+		switch i % arms {
+		case 0:
+			return dirbrowser.Run(topo, dirbrowser.Options{FixedRandom: true})
+		case 1:
+			return spdybrowser.Run(topo, spdybrowser.Options{FixedRandom: true})
+		default:
+			return core.Run(topo, core.DefaultProxyConfig(), core.DefaultClientConfig())
+		}
+	})
+	var out SPDYResult
+	for pi := range pages {
+		d, sp, p := runs[pi*arms], runs[pi*arms+1], runs[pi*arms+2]
 		out.DIROLT = append(out.DIROLT, d.OLT.Seconds())
 		out.SPDYOLT = append(out.SPDYOLT, sp.OLT.Seconds())
 		out.ParcelOLT = append(out.ParcelOLT, p.OLT.Seconds())

@@ -9,6 +9,7 @@ import (
 	"github.com/parcel-go/parcel/internal/dirbrowser"
 	"github.com/parcel-go/parcel/internal/energy"
 	"github.com/parcel-go/parcel/internal/radio"
+	"github.com/parcel-go/parcel/internal/runner"
 	"github.com/parcel-go/parcel/internal/scenario"
 	"github.com/parcel-go/parcel/internal/webgen"
 )
@@ -46,12 +47,17 @@ func Fig8(cfg Config) Fig8Result {
 	const clickInterval = 60 * time.Second
 	dev := energy.DefaultDevice()
 
+	// The three scheme sessions are independent topologies: run them as
+	// parallel tasks, slotted so the result order stays PARCEL, DIR, CB.
+	sessions := []func() SessionResult{
+		func() SessionResult { return runParcelSession(page, cfg, clicks, clickInterval, dev) },
+		func() SessionResult { return runDIRSession(page, cfg, clicks, clickInterval, dev) },
+		func() SessionResult { return runCBSession(page, cfg, clicks, clickInterval, dev) },
+	}
 	out := Fig8Result{Page: page.Name, Clicks: clicks}
-	out.Results = append(out.Results,
-		runParcelSession(page, cfg, clicks, clickInterval, dev),
-		runDIRSession(page, cfg, clicks, clickInterval, dev),
-		runCBSession(page, cfg, clicks, clickInterval, dev),
-	)
+	out.Results = runner.Map(cfg.Parallelism, len(sessions), func(i int) SessionResult {
+		return sessions[i]()
+	})
 	return out
 }
 

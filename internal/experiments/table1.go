@@ -3,6 +3,7 @@ package experiments
 import (
 	"github.com/parcel-go/parcel/internal/core"
 	"github.com/parcel-go/parcel/internal/dirbrowser"
+	"github.com/parcel-go/parcel/internal/runner"
 	"github.com/parcel-go/parcel/internal/scenario"
 	"github.com/parcel-go/parcel/internal/sched"
 )
@@ -40,8 +41,8 @@ type Table1Measured struct {
 	InteractionPackets    int
 }
 
-// MeasureTable1 runs one page under both schemes and extracts the Table 1
-// quantities.
+// MeasureTable1 runs one page under both schemes — two parallel tasks on
+// independent topologies — and extracts the Table 1 quantities.
 func MeasureTable1(cfg Config) Table1Measured {
 	cfg = cfg.withDefaults()
 	pages := cfg.PageSet()
@@ -49,26 +50,34 @@ func MeasureTable1(cfg Config) Table1Measured {
 	params := cfg.Scenario
 	params.Seed = cfg.Seed
 
-	dTopo := scenario.Build(page, params)
-	dRun := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
+	halves := runner.Map(cfg.Parallelism, 2, func(i int) Table1Measured {
+		if i == 0 {
+			dTopo := scenario.Build(page, params)
+			dRun := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
+			return Table1Measured{
+				DIRClientConns:    dRun.ConnsOpened,
+				DIRClientRequests: dRun.HTTPRequests,
+			}
+		}
+		pTopo := scenario.Build(page, params)
+		pc := core.DefaultProxyConfig()
+		pc.Sched = sched.ConfigIND
+		proxy := core.StartProxy(pTopo, pc)
+		client := core.NewClient(pTopo, core.DefaultClientConfig())
+		pRun := client.Load()
 
-	pTopo := scenario.Build(page, params)
-	pc := core.DefaultProxyConfig()
-	pc.Sched = sched.ConfigIND
-	proxy := core.StartProxy(pTopo, pc)
-	client := core.NewClient(pTopo, core.DefaultClientConfig())
-	pRun := client.Load()
-
-	before := pTopo.ClientTrace.Len()
-	client.Engine.FireEvent("click", "gallery-next") // no-op on plain pages
-	pTopo.Sim.Run()
-
-	return Table1Measured{
-		ParcelClientConns:     pRun.ConnsOpened,
-		ParcelClientRequests:  pRun.HTTPRequests,
-		ParcelProxyIdentified: proxy.Sessions[0].ObjectsPushed,
-		DIRClientConns:        dRun.ConnsOpened,
-		DIRClientRequests:     dRun.HTTPRequests,
-		InteractionPackets:    pTopo.ClientTrace.Len() - before,
-	}
+		before := pTopo.ClientTrace.Len()
+		client.Engine.FireEvent("click", "gallery-next") // no-op on plain pages
+		pTopo.Sim.Run()
+		return Table1Measured{
+			ParcelClientConns:     pRun.ConnsOpened,
+			ParcelClientRequests:  pRun.HTTPRequests,
+			ParcelProxyIdentified: proxy.Sessions[0].ObjectsPushed,
+			InteractionPackets:    pTopo.ClientTrace.Len() - before,
+		}
+	})
+	out := halves[1]
+	out.DIRClientConns = halves[0].DIRClientConns
+	out.DIRClientRequests = halves[0].DIRClientRequests
+	return out
 }

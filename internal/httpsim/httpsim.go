@@ -173,7 +173,12 @@ type Client struct {
 	maxConns int
 	maxTotal int
 
-	pools      map[string]*pool
+	pools map[string]*pool
+	// poolList holds the pools in creation order. Every behaviour-affecting
+	// iteration walks this slice, never the map: map iteration order is
+	// randomized per process, and iterating it to pick an eviction victim (or
+	// to close connections) made simulation runs nondeterministic.
+	poolList   []*pool
 	queue      []pendingReq
 	totalConns int
 
@@ -253,8 +258,8 @@ func (c *Client) drain() {
 	queue := c.queue
 	c.queue = nil
 	// Capacity being created per domain in this pass.
-	pendingCapacity := make(map[string]int)
-	for _, p := range c.pools {
+	pendingCapacity := make(map[string]int, len(c.poolList))
+	for _, p := range c.poolList {
 		pendingCapacity[p.domain] = p.dialing
 	}
 	var remaining []pendingReq
@@ -274,6 +279,7 @@ func (c *Client) tryIssue(pr pendingReq, pendingCapacity map[string]int) bool {
 	if p == nil {
 		p = &pool{domain: pr.domain}
 		c.pools[pr.domain] = p
+		c.poolList = append(c.poolList, p)
 	}
 	for _, pc := range p.conns {
 		if pc.ready && !pc.busy {
@@ -302,9 +308,10 @@ func (c *Client) tryIssue(pr pendingReq, pendingCapacity map[string]int) bool {
 }
 
 // evictIdle closes one ready idle connection belonging to a different
-// domain, returning true if room was made.
+// domain, returning true if room was made. Pools are scanned in creation
+// order so the victim choice is deterministic.
 func (c *Client) evictIdle(exceptDomain string) bool {
-	for _, p := range c.pools {
+	for _, p := range c.poolList {
 		if p.domain == exceptDomain {
 			continue
 		}
@@ -379,7 +386,7 @@ func (c *Client) TotalConns() int { return c.totalConns }
 
 // CloseIdle closes every pooled connection (end of a page session).
 func (c *Client) CloseIdle() {
-	for _, p := range c.pools {
+	for _, p := range c.poolList {
 		for _, pc := range p.conns {
 			if pc.ready && !pc.busy && !pc.conn.Closed() {
 				pc.conn.Close()

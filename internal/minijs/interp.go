@@ -233,6 +233,27 @@ func (in *Interp) step() error {
 	return nil
 }
 
+// blockScope returns the environment a block should execute in: a fresh
+// child scope when the block declares variables at its top level, otherwise
+// the enclosing scope itself. Only VarStmt ever writes directly into a
+// block's scope (assignments walk the chain and fall back to globals), so a
+// declaration-free block is observationally identical either way — and loop
+// bodies, which execute their block once per iteration, skip an env+map
+// allocation per pass. This was the single largest allocation source in a
+// page-load profile.
+func blockScope(stmts []Stmt, e *env) *env {
+	n := 0
+	for _, s := range stmts {
+		if _, ok := s.(*VarStmt); ok {
+			n++
+		}
+	}
+	if n == 0 {
+		return e
+	}
+	return &env{vars: make(map[string]Value, n), parent: e}
+}
+
 func (in *Interp) execBlock(stmts []Stmt, e *env) error {
 	for _, s := range stmts {
 		if err := in.exec(s, e); err != nil {
@@ -276,11 +297,10 @@ func (in *Interp) exec(s Stmt, e *env) error {
 		if err != nil {
 			return err
 		}
-		scope := &env{vars: make(map[string]Value), parent: e}
 		if cond.Truthy() {
-			return in.execBlock(s.Then, scope)
+			return in.execBlock(s.Then, blockScope(s.Then, e))
 		}
-		return in.execBlock(s.Else, scope)
+		return in.execBlock(s.Else, blockScope(s.Else, e))
 	case *WhileStmt:
 		for {
 			cond, err := in.eval(s.Cond, e)
@@ -290,8 +310,7 @@ func (in *Interp) exec(s Stmt, e *env) error {
 			if !cond.Truthy() {
 				return nil
 			}
-			scope := &env{vars: make(map[string]Value), parent: e}
-			if err := in.execBlock(s.Body, scope); err != nil {
+			if err := in.execBlock(s.Body, blockScope(s.Body, e)); err != nil {
 				return err
 			}
 			if err := in.step(); err != nil {
@@ -299,8 +318,11 @@ func (in *Interp) exec(s Stmt, e *env) error {
 			}
 		}
 	case *ForStmt:
-		scope := &env{vars: make(map[string]Value), parent: e}
+		scope := e
 		if s.Init != nil {
+			// The induction variable needs its own scope; condition-only
+			// loops can evaluate against the enclosing one.
+			scope = &env{vars: make(map[string]Value, 1), parent: e}
 			if err := in.exec(s.Init, scope); err != nil {
 				return err
 			}
@@ -315,8 +337,7 @@ func (in *Interp) exec(s Stmt, e *env) error {
 					return nil
 				}
 			}
-			body := &env{vars: make(map[string]Value), parent: scope}
-			if err := in.execBlock(s.Body, body); err != nil {
+			if err := in.execBlock(s.Body, blockScope(s.Body, scope)); err != nil {
 				return err
 			}
 			if s.Post != nil {

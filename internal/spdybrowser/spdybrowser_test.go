@@ -6,6 +6,7 @@ import (
 	"github.com/parcel-go/parcel/internal/core"
 	"github.com/parcel-go/parcel/internal/dirbrowser"
 	"github.com/parcel-go/parcel/internal/scenario"
+	"github.com/parcel-go/parcel/internal/stats"
 	"github.com/parcel-go/parcel/internal/webgen"
 )
 
@@ -50,8 +51,21 @@ func TestSPDYBeatsDIRButNotParcel(t *testing.T) {
 	// The paper's position (§3, §4.3): SPDY transport helps HTTP's
 	// per-object round trips somewhat, but client-side discovery still
 	// bounds it — PARCEL keeps its advantage even against SPDY.
-	betterThanDIR, parcelBeatsSPDY := 0, 0
-	const n = 4
+	//
+	// This test used to count per-page wins against an n-1 threshold and
+	// failed on some seeds. Part of that was a real bug — httpsim.Client
+	// chose idle-eviction victims by ranging over its pools map, so
+	// connection reuse (and with it DIR/SPDY OLT) varied run to run; the
+	// client now walks pools in creation order (see Client.poolList).
+	// The rest is genuine page-to-page variance: over a high-RTT LTE link
+	// SPDY's single multiplexed connection can lose to DIR's parallel
+	// congestion windows on some page shapes, so its edge — like the
+	// paper's §8 claims — only holds in aggregate. The assertion therefore
+	// compares medians over the whole page set: SPDY's transport fix buys a
+	// modest win over DIR, while PARCEL's proxy-side discovery beats SPDY
+	// by a wide margin.
+	const n = 6
+	var spdyOLT, dirOLT, parcelOLT []float64
 	for i := 0; i < n; i++ {
 		page := pageAt(t, i)
 		sTopo := scenario.Build(page, scenario.DefaultParams())
@@ -60,17 +74,15 @@ func TestSPDYBeatsDIRButNotParcel(t *testing.T) {
 		d := dirbrowser.Run(dTopo, dirbrowser.Options{FixedRandom: true})
 		pTopo := scenario.Build(page, scenario.DefaultParams())
 		p := core.Run(pTopo, core.DefaultProxyConfig(), core.DefaultClientConfig())
-		if s.OLT < d.OLT {
-			betterThanDIR++
-		}
-		if p.OLT < s.OLT {
-			parcelBeatsSPDY++
-		}
+		spdyOLT = append(spdyOLT, s.OLT.Seconds())
+		dirOLT = append(dirOLT, d.OLT.Seconds())
+		parcelOLT = append(parcelOLT, p.OLT.Seconds())
 	}
-	if betterThanDIR < n-1 {
-		t.Fatalf("SPDY beat DIR on only %d/%d pages", betterThanDIR, n)
+	spdy, dir, parcel := stats.Median(spdyOLT), stats.Median(dirOLT), stats.Median(parcelOLT)
+	if spdy >= dir {
+		t.Fatalf("SPDY median OLT %.2fs >= DIR %.2fs", spdy, dir)
 	}
-	if parcelBeatsSPDY < n-1 {
-		t.Fatalf("PARCEL beat SPDY on only %d/%d pages", parcelBeatsSPDY, n)
+	if parcel >= 0.75*spdy {
+		t.Fatalf("PARCEL median OLT %.2fs not well below SPDY %.2fs", parcel, spdy)
 	}
 }
