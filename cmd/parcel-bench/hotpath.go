@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"github.com/parcel-go/parcel/internal/core"
+	"github.com/parcel-go/parcel/internal/dirbrowser"
+	"github.com/parcel-go/parcel/internal/htmlparse"
+	"github.com/parcel-go/parcel/internal/scenario"
+	"github.com/parcel-go/parcel/internal/webgen"
+)
+
+// hotpathBaselineAllocs is the PARCEL page-load allocation count measured
+// before the pooling/arena work (simnet closures per packet, map-backed
+// attribute storage, slice-doubling trace recorder). It is recorded so the
+// report states the reduction against a fixed reference, not against
+// whatever the previous run happened to be.
+const hotpathBaselineAllocs = 29634
+
+// hotpathTargetAllocs is the regression budget: a PARCEL page load must stay
+// at or under this many allocations.
+const hotpathTargetAllocs = 15000
+
+// hotpathCase is one measured benchmark in the hot-path report.
+type hotpathCase struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// hotpathReport is the JSON shape the benchhotpath target writes.
+type hotpathReport struct {
+	BaselineAllocsPerOp int64         `json:"baseline_allocs_per_op"`
+	TargetAllocsPerOp   int64         `json:"target_allocs_per_op"`
+	ReductionPercent    float64       `json:"reduction_percent"`
+	WithinTarget        bool          `json:"within_target"`
+	Cases               []hotpathCase `json:"cases"`
+}
+
+// benchHotpath measures the allocation profile of the simulator's hot paths
+// — a full PARCEL page load, a full DIR page load, and an HTML parse — and
+// writes the report to path. The PARCEL case is compared against the
+// committed pre-optimization baseline and the regression budget; the target
+// exits non-zero if the budget is blown, so CI can gate on it.
+func benchHotpath(w io.Writer, path string) error {
+	header(w, "benchhotpath: hot-path allocation profile")
+	page := webgen.Generate(webgen.Spec{Seed: 77, NumPages: 4})[2]
+
+	cases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"PageLoadPARCEL", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				topo := scenario.Build(page, scenario.DefaultParams())
+				core.Run(topo, core.DefaultProxyConfig(), core.DefaultClientConfig())
+			}
+		}},
+		{"PageLoadDIR", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				topo := scenario.Build(page, scenario.DefaultParams())
+				dirbrowser.Run(topo, dirbrowser.Options{FixedRandom: true})
+			}
+		}},
+		{"ParseHTML", func(b *testing.B) {
+			var body []byte
+			for _, obj := range page.Objects {
+				if obj.ContentType == "text/html" {
+					body = obj.Body
+					break
+				}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := htmlparse.Parse(body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	rep := hotpathReport{
+		BaselineAllocsPerOp: hotpathBaselineAllocs,
+		TargetAllocsPerOp:   hotpathTargetAllocs,
+	}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		hc := hotpathCase{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Cases = append(rep.Cases, hc)
+		fmt.Fprintf(w, "%-16s %10.0f ns/op %10d B/op %8d allocs/op\n",
+			hc.Name, hc.NsPerOp, hc.BytesPerOp, hc.AllocsPerOp)
+	}
+
+	parcelAllocs := rep.Cases[0].AllocsPerOp
+	rep.ReductionPercent = 100 * (1 - float64(parcelAllocs)/float64(hotpathBaselineAllocs))
+	rep.WithinTarget = parcelAllocs <= hotpathTargetAllocs
+	fmt.Fprintf(w, "PARCEL page load: %d allocs/op (baseline %d, -%.1f%%; budget %d)\n",
+		parcelAllocs, rep.BaselineAllocsPerOp, rep.ReductionPercent, rep.TargetAllocsPerOp)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	if !rep.WithinTarget {
+		return fmt.Errorf("hot-path regression: PARCEL page load %d allocs/op exceeds budget %d",
+			parcelAllocs, hotpathTargetAllocs)
+	}
+	return nil
+}

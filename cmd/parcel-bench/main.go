@@ -6,13 +6,15 @@
 //	parcel-bench [-pages N] [-runs N] [-seed S] [-jitter D] [-parallelism N] TARGET...
 //
 // Targets: fig3 fig5 fig6a fig6b fig6c fig7a fig7b fig7c fig8 fig9 fig10
-// fig11 model delay table1 spdy summary benchsweep all
+// fig11 model delay table1 spdy summary benchsweep benchhotpath all
 //
 // Independent targets render concurrently (each into its own buffer, printed
 // in request order); the simulations inside each target additionally fan out
 // on the -parallelism worker pool. benchsweep times a serial vs parallel
-// sweep and writes the result to BENCH_sweep.json; it always runs by itself,
-// before any other requested target, so nothing competes with the clock.
+// sweep and writes the result to BENCH_sweep.json; benchhotpath profiles
+// page-load allocations against the committed budget and writes
+// BENCH_hotpath.json. Both always run by themselves, before any other
+// requested target, so nothing competes with the clock.
 //
 // Absolute numbers come from a simulator, not the authors' LTE testbed; the
 // shapes (who wins, by what factor, the trade-off orderings) are what the
@@ -53,6 +55,7 @@ func main() {
 	jitter := flag.Duration("jitter", 2*time.Millisecond, "LTE per-packet jitter stddev")
 	parallelism := flag.Int("parallelism", 0, "simulation worker pool size (0 = one per CPU, 1 = serial)")
 	benchOut := flag.String("benchout", "BENCH_sweep.json", "output path for the benchsweep target")
+	hotpathOut := flag.String("hotpathout", "BENCH_hotpath.json", "output path for the benchhotpath target")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -64,7 +67,7 @@ func main() {
 
 	targets := flag.Args()
 	if len(targets) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: parcel-bench [flags] TARGET...\ntargets: %s benchsweep all\n",
+		fmt.Fprintf(os.Stderr, "usage: parcel-bench [flags] TARGET...\ntargets: %s benchsweep benchhotpath all\n",
 			strings.Join(allTargets, " "))
 		os.Exit(2)
 	}
@@ -76,21 +79,34 @@ func main() {
 	// multi-second sweep starts, and pull benchsweep out: it measures wall
 	// clock, so it must not share the machine with other targets.
 	wantBench := false
+	wantHotpath := false
 	renderTargets := targets[:0:0]
 	for _, t := range targets {
 		if t == "benchsweep" {
 			wantBench = true
 			continue
 		}
+		if t == "benchhotpath" {
+			wantHotpath = true
+			continue
+		}
 		if !knownTarget(t) {
-			fmt.Fprintf(os.Stderr, "parcel-bench: unknown target %q (want one of %s benchsweep)\n",
+			fmt.Fprintf(os.Stderr, "parcel-bench: unknown target %q (want one of %s benchsweep benchhotpath)\n",
 				t, strings.Join(allTargets, " "))
 			os.Exit(2)
 		}
 		renderTargets = append(renderTargets, t)
 	}
+	// The timing targets run alone, before anything else competes for the
+	// machine.
 	if wantBench {
 		if err := benchSweep(os.Stdout, cfg, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "parcel-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if wantHotpath {
+		if err := benchHotpath(os.Stdout, *hotpathOut); err != nil {
 			fmt.Fprintf(os.Stderr, "parcel-bench: %v\n", err)
 			os.Exit(1)
 		}

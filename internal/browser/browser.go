@@ -416,11 +416,7 @@ func (w *docWalker) resume() {
 				if u == "" {
 					continue
 				}
-				if _, async := n.Attrs["async"]; async {
-					e.requestObject(u, false, w.depth+1)
-					continue
-				}
-				if _, deferred := n.Attrs["defer"]; deferred {
+				if n.HasAttr("async") || n.HasAttr("defer") {
 					e.requestObject(u, false, w.depth+1)
 					continue
 				}

@@ -133,7 +133,7 @@ func (c *Client) Reload() metrics.PageRun {
 	}
 	run.OLT = onload - start
 	var lastData time.Duration
-	for _, p := range topo.ClientTrace.Packets()[packetsBefore:] {
+	for _, p := range topo.ClientTrace.PacketsSince(packetsBefore) {
 		if p.Kind == trace.KindData && !strings.HasPrefix(p.Label, ctlPrefix) && p.At > lastData {
 			lastData = p.At
 		}
@@ -146,7 +146,7 @@ func (c *Client) Reload() metrics.PageRun {
 	// its control exchange burst.
 	horizon := run.TLT
 	var acts []radio.Activity
-	for _, p := range topo.ClientTrace.Packets()[packetsBefore:] {
+	for _, p := range topo.ClientTrace.PacketsSince(packetsBefore) {
 		rel := p.At - start
 		if horizon == 0 {
 			horizon = rel + 500*time.Millisecond // request burst only

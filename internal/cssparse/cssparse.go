@@ -56,6 +56,11 @@ func AssetURLs(src, baseURL string) []string {
 }
 
 func stripComments(s string) string {
+	// Most generated stylesheets carry no comments at all; return the input
+	// unchanged (no copy) in that case.
+	if !strings.Contains(s, "/*") {
+		return s
+	}
 	var b strings.Builder
 	for {
 		start := strings.Index(s, "/*")

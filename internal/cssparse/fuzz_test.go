@@ -1,0 +1,57 @@
+package cssparse
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/parcel-go/parcel/internal/webgen"
+)
+
+// FuzzRefs drives the stylesheet scanner with arbitrary text. Every
+// reference that comes back must be an absolute http(s) URL (never a data:
+// URI or fragment), and @import/url() classification must be consistent —
+// the proxy's dependency resolution trusts both properties.
+//
+// Seeds are the generator's real CSS output plus edge-case fragments.
+func FuzzRefs(f *testing.F) {
+	for _, page := range webgen.Generate(webgen.Spec{Seed: 77, NumPages: 2}) {
+		for _, obj := range page.Objects {
+			if obj.ContentType == "text/css" {
+				f.Add(string(obj.Body))
+			}
+		}
+	}
+	for _, s := range []string{
+		"",
+		"body { background: url(bg.png); }",
+		`@import "more.css"; a { color: red }`,
+		"@import url('deep/sheet.css');",
+		"/* url(commented.png) */ div { background: url( 'spaced.gif' ) }",
+		"div { background: url(data:image/png;base64,AAAA) }",
+		"@import url(",
+		"url()",
+		"/* unterminated comment url(x.png)",
+		"@import \xff'\x00broken",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, r := range Refs(src, "http://x.com/css/site.css") {
+			if r.URL == "" {
+				t.Fatal("Refs returned empty URL")
+			}
+			if !strings.HasPrefix(r.URL, "http://") && !strings.HasPrefix(r.URL, "https://") {
+				t.Fatalf("Refs returned non-absolute URL %q", r.URL)
+			}
+			if strings.HasPrefix(r.URL, "http://x.com/css/data:") {
+				t.Fatalf("data: URI leaked through resolution: %q", r.URL)
+			}
+		}
+		assets := AssetURLs(src, "http://x.com/css/site.css")
+		for _, u := range assets {
+			if u == "" {
+				t.Fatal("AssetURLs returned empty URL")
+			}
+		}
+	})
+}

@@ -16,10 +16,18 @@ import (
 )
 
 // Event is a scheduled callback. It can be cancelled before it fires.
+//
+// An event carries either a plain fn (Schedule/ScheduleAt) or an
+// argument-taking afn+arg pair (ScheduleArgAt). The latter exists for
+// zero-allocation hot paths: a package-level func(any) plus a pooled
+// argument pointer schedules without materialising a closure, where a
+// capturing closure would heap-allocate once per event.
 type Event struct {
 	at     time.Duration
 	seq    uint64
 	fn     func()
+	afn    func(any)
+	arg    any
 	index  int // heap index; -1 when not queued
 	cancel bool
 }
@@ -32,6 +40,8 @@ func (e *Event) At() time.Duration { return e.at }
 func (e *Event) Cancel() {
 	e.cancel = true
 	e.fn = nil
+	e.afn = nil
+	e.arg = nil
 }
 
 // Cancelled reports whether Cancel was called on the event.
@@ -157,6 +167,25 @@ func (s *Simulator) ScheduleAt(t time.Duration, fn func()) *Event {
 	return e
 }
 
+// ScheduleArgAt queues fn(arg) to run at absolute virtual time t. It is the
+// allocation-free variant of ScheduleAt: with a package-level fn and a pooled
+// pointer arg, the only storage consumed is the arena-backed Event itself.
+// Ordering relative to ScheduleAt events follows the shared seq counter.
+func (s *Simulator) ScheduleArgAt(t time.Duration, fn func(any), arg any) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("eventsim: ScheduleArgAt(%v) is before now (%v)", t, s.now))
+	}
+	if fn == nil {
+		panic("eventsim: nil event function")
+	}
+	s.checkOwner()
+	s.seq++
+	e := s.newEvent()
+	*e = Event{at: t, seq: s.seq, afn: fn, arg: arg, index: -1}
+	heap.Push(&s.queue, e)
+	return e
+}
+
 // Step executes the earliest pending event, advancing the clock to its
 // scheduled time. It returns false when no events remain.
 func (s *Simulator) Step() bool {
@@ -168,6 +197,12 @@ func (s *Simulator) Step() bool {
 		}
 		s.now = e.at
 		s.fired++
+		if e.afn != nil {
+			afn, arg := e.afn, e.arg
+			e.afn, e.arg = nil, nil
+			afn(arg)
+			return true
+		}
 		fn := e.fn
 		e.fn = nil
 		fn()

@@ -1,0 +1,92 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/parcel-go/parcel/internal/webgen"
+)
+
+// FuzzParse drives the tokenizer with arbitrary bytes. The parser backs
+// every token with views into the source and carves nodes from arenas, so
+// the invariants worth checking go beyond "no panic": any tree that comes
+// back must walk, its attribute keys and tags must be lowercase (the
+// contract Resources and the browser rely on), and the downstream
+// extractors must run on whatever structure emerged.
+//
+// The seed corpus is real generator output (the HTML the simulator actually
+// parses) plus the adversarial fragments from the robustness tests.
+//
+// Lowercasing is ASCII-only, matching the HTML spec's ASCII case folding for
+// tag and attribute names; the invariant checks exactly that.
+func FuzzParse(f *testing.F) {
+	for _, page := range webgen.Generate(webgen.Spec{Seed: 77, NumPages: 2}) {
+		for _, obj := range page.Objects {
+			if obj.ContentType == "text/html" {
+				f.Add(obj.Body)
+			}
+		}
+	}
+	for _, s := range []string{
+		"",
+		"<",
+		"<div",
+		"<div/><p>x",
+		`<a href="http://x.com/p" class='c1 c2' data-x=bare checked>link</a>`,
+		"<!DOCTYPE html><!-- c --><p>a < b</p>",
+		"<script>var x = '</scr' + 'ipt>';</script>",
+		"<SCRIPT SRC=HTTP://X.COM/A.JS></SCRIPT>",
+		"<style>body{background:url(bg.png)}</style>",
+		"<ul><li>one<li>two",
+		"</div><<>><img src=",
+		"<p\xff\xfe\x00attr=\x01>",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		root, err := Parse(data)
+		if err != nil {
+			return
+		}
+		count := 0
+		Walk(root, func(n *Node) {
+			count++
+			if hasASCIIUpper(n.Tag) {
+				t.Fatalf("tag not lowercased: %q", n.Tag)
+			}
+			for _, a := range n.Attrs {
+				if a.Key == "" {
+					t.Fatal("empty attribute key survived")
+				}
+				if hasASCIIUpper(a.Key) {
+					t.Fatalf("attr key not lowercased: %q", a.Key)
+				}
+				if got, ok := n.Attrs.Get(a.Key); !ok || (got != a.Value && n.Attr(a.Key) == "") {
+					t.Fatalf("AttrList lookup lost %q", a.Key)
+				}
+			}
+		})
+		if count < 1 {
+			t.Fatal("parsed tree has no root")
+		}
+		for _, r := range Resources(root, "http://x.com/dir/") {
+			if r.URL == "" {
+				t.Fatal("Resources returned empty URL")
+			}
+			if !strings.HasPrefix(r.URL, "http://") && !strings.HasPrefix(r.URL, "https://") {
+				t.Fatalf("Resources returned non-absolute URL %q", r.URL)
+			}
+		}
+		InlineScripts(root)
+		InlineStyles(root)
+	})
+}
+
+func hasASCIIUpper(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			return true
+		}
+	}
+	return false
+}

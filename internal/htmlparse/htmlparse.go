@@ -3,6 +3,13 @@
 // bare), text, comments, doctype, void elements, and raw-text elements
 // (script/style), and extracts the external resources a page references —
 // the object-identification step that PARCEL moves to the proxy (§4.2).
+//
+// The tokenizer is built for the simulator's hot loop: every token is a view
+// into the source string (substring slicing, no copies), nodes and attribute
+// pairs are carved from arena blocks owned by the parse (one allocation per
+// block instead of one per node), and tag/attribute names that are already
+// lowercase — the overwhelmingly common case — are never re-lowercased into
+// fresh strings. A single scratch buffer handles the uppercase exceptions.
 package htmlparse
 
 import (
@@ -10,21 +17,50 @@ import (
 	"strings"
 )
 
+// Attr is one element attribute (keys are lowercased).
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// AttrList is an element's attributes in source order. It replaces a
+// per-element map: pages average a handful of attributes per element, where
+// a linear scan over an arena-backed slice beats a heap-allocated map.
+type AttrList []Attr
+
+// Get returns the value for key and whether the attribute is present.
+func (l AttrList) Get(key string) (string, bool) {
+	for i := range l {
+		if l[i].Key == key {
+			return l[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// Has reports whether the attribute is present (possibly empty-valued).
+func (l AttrList) Has(key string) bool {
+	_, ok := l.Get(key)
+	return ok
+}
+
 // Node is a DOM node: an element (Tag != "") or a text node (Tag == "").
 type Node struct {
 	Tag      string
-	Attrs    map[string]string
+	Attrs    AttrList
 	Children []*Node
 	Text     string // text nodes and raw-text element content
 }
 
 // Attr returns the attribute value (lowercased key) or "".
 func (n *Node) Attr(key string) string {
-	if n.Attrs == nil {
-		return ""
-	}
-	return n.Attrs[key]
+	v, _ := n.Attrs.Get(key)
+	return v
 }
+
+// HasAttr reports whether the attribute is present, even when empty (the
+// boolean attributes: async, defer, checked, ...).
+func (n *Node) HasAttr(key string) bool { return n.Attrs.Has(key) }
 
 // voidElements never have closing tags.
 var voidElements = map[string]bool{
@@ -41,18 +77,95 @@ var rawTextElements = map[string]bool{"script": true, "style": true, "title": tr
 // nearest matching open element, and unclosed elements are closed at EOF.
 func Parse(src []byte) (*Node, error) {
 	p := &parser{src: string(src)}
-	root := &Node{Tag: "#document"}
-	p.stack = []*Node{root}
+	root := p.newNode()
+	root.Tag = "#document"
+	p.stack = append(p.stackBuf[:0], root)
 	if err := p.run(); err != nil {
 		return nil, err
 	}
 	return root, nil
 }
 
+// nodeBlockSize is how many Nodes one arena block holds. The blocks stay
+// reachable through the tree, so the arena only batches allocations — it
+// never changes object lifetime.
+const nodeBlockSize = 64
+
+// attrBlockSize is how many attribute pairs one arena block holds.
+const attrBlockSize = 128
+
+// maxDepth caps the open-element stack, like browsers clamp DOM depth.
+// Elements past the cap still appear in the tree but as siblings, not
+// children. Beyond sanity, the cap bounds the stray-close-tag scan in popTo:
+// without it, byte soup of N opens followed by N unmatched closes costs
+// O(N·depth) — a fuzzing hang, not a parse.
+const maxDepth = 256
+
 type parser struct {
 	src   string
 	pos   int
 	stack []*Node
+
+	stackBuf  [16]*Node // initial open-element stack storage
+	nodeArena []Node
+	attrArena []Attr
+	attrBuf   []Attr // scratch for the tag currently being tokenized
+	lowerBuf  []byte // scratch for the rare uppercase-name lowercasing
+}
+
+// newNode carves a zeroed node out of the arena.
+func (p *parser) newNode() *Node {
+	if len(p.nodeArena) == 0 {
+		p.nodeArena = make([]Node, nodeBlockSize)
+	}
+	n := &p.nodeArena[0]
+	p.nodeArena = p.nodeArena[1:]
+	return n
+}
+
+// internAttrs copies the scratch attribute pairs into the arena and returns
+// the element's view. The capacity is clamped so a later append on the view
+// could never clobber a neighbouring element's attributes.
+func (p *parser) internAttrs(scratch []Attr) AttrList {
+	k := len(scratch)
+	if k == 0 {
+		return nil
+	}
+	if len(p.attrArena) < k {
+		size := attrBlockSize
+		if k > size {
+			size = k
+		}
+		p.attrArena = make([]Attr, size)
+	}
+	out := p.attrArena[:k:k]
+	p.attrArena = p.attrArena[k:]
+	copy(out, scratch)
+	return out
+}
+
+// lower returns s lowercased. When s has no uppercase letters — tag and
+// attribute names in real markup almost always — it returns s itself, a view
+// with no allocation; otherwise it lowercases through the shared scratch
+// buffer, paying one small copy.
+func (p *parser) lower(s string) string {
+	upper := -1
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			upper = i
+			break
+		}
+	}
+	if upper < 0 {
+		return s
+	}
+	p.lowerBuf = append(p.lowerBuf[:0], s...)
+	for i := upper; i < len(p.lowerBuf); i++ {
+		if c := p.lowerBuf[i]; c >= 'A' && c <= 'Z' {
+			p.lowerBuf[i] = c + ('a' - 'A')
+		}
+	}
+	return string(p.lowerBuf)
 }
 
 func (p *parser) top() *Node { return p.stack[len(p.stack)-1] }
@@ -82,7 +195,9 @@ func (p *parser) text() {
 	}
 	chunk := p.src[start:p.pos]
 	if strings.TrimSpace(chunk) != "" {
-		p.appendChild(&Node{Text: chunk})
+		n := p.newNode()
+		n.Text = chunk
+		p.appendChild(n)
 	}
 }
 
@@ -111,7 +226,7 @@ func (p *parser) tag() error {
 		if end < 0 {
 			return fmt.Errorf("htmlparse: unterminated closing tag at offset %d", p.pos)
 		}
-		name := strings.ToLower(strings.TrimSpace(p.src[p.pos+2 : p.pos+end]))
+		name := p.lower(strings.TrimSpace(p.src[p.pos+2 : p.pos+end]))
 		p.pos += end + 1
 		p.popTo(name)
 		return nil
@@ -121,14 +236,18 @@ func (p *parser) tag() error {
 	if err != nil {
 		return err
 	}
-	n := &Node{Tag: name, Attrs: attrs}
+	if name == "" {
+		return nil // bare '<' handled inside openTag
+	}
+	n := p.newNode()
+	n.Tag = name
+	n.Attrs = attrs
 	p.appendChild(n)
 	if selfClose || voidElements[name] {
 		return nil
 	}
 	if rawTextElements[name] {
-		closeTag := "</" + name
-		idx := strings.Index(strings.ToLower(p.src[p.pos:]), closeTag)
+		idx := indexCloseTagFold(p.src[p.pos:], name)
 		if idx < 0 {
 			n.Text = p.src[p.pos:]
 			p.pos = len(p.src)
@@ -144,12 +263,46 @@ func (p *parser) tag() error {
 		p.pos += idx + gt + 1
 		return nil
 	}
-	p.stack = append(p.stack, n)
+	if len(p.stack) < maxDepth {
+		p.stack = append(p.stack, n)
+	}
 	return nil
 }
 
-// openTag parses "<name attr=val ...>" starting at p.pos ('<').
-func (p *parser) openTag() (name string, attrs map[string]string, selfClose bool, err error) {
+// indexCloseTagFold finds the first ASCII-case-insensitive occurrence of
+// "</name" in s, without lowercasing (and so copying) the remaining source
+// the way a strings.ToLower scan would.
+func indexCloseTagFold(s, name string) int {
+	n := len(name) + 2
+	for i := 0; i+n <= len(s); i++ {
+		if s[i] != '<' || s[i+1] != '/' {
+			continue
+		}
+		if foldEq(s[i+2:i+n], name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// foldEq reports ASCII-case-insensitive equality of equal-length strings,
+// where b is already lowercase.
+func foldEq(a, b string) bool {
+	for i := 0; i < len(a); i++ {
+		ca := a[i]
+		if ca >= 'A' && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if ca != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// openTag parses "<name attr=val ...>" starting at p.pos ('<'). A returned
+// empty name means the '<' was bare text (already handled).
+func (p *parser) openTag() (name string, attrs AttrList, selfClose bool, err error) {
 	i := p.pos + 1
 	start := i
 	for i < len(p.src) && isNameChar(p.src[i]) {
@@ -157,11 +310,15 @@ func (p *parser) openTag() (name string, attrs map[string]string, selfClose bool
 	}
 	if i == start {
 		// A bare '<' in text; treat it as text.
-		p.appendChild(&Node{Text: "<"})
+		n := p.newNode()
+		n.Text = "<"
+		p.appendChild(n)
 		p.pos++
 		return "", nil, true, nil
 	}
-	name = strings.ToLower(p.src[start:i])
+	name = p.lower(p.src[start:i])
+	scratch := p.attrBuf[:0]
+	defer func() { p.attrBuf = scratch[:0] }()
 	for {
 		for i < len(p.src) && isSpace(p.src[i]) {
 			i++
@@ -171,7 +328,7 @@ func (p *parser) openTag() (name string, attrs map[string]string, selfClose bool
 		}
 		if p.src[i] == '>' {
 			p.pos = i + 1
-			return name, attrs, selfClose, nil
+			return name, p.internAttrs(scratch), selfClose, nil
 		}
 		if p.src[i] == '/' {
 			selfClose = true
@@ -183,7 +340,7 @@ func (p *parser) openTag() (name string, attrs map[string]string, selfClose bool
 		for i < len(p.src) && !isSpace(p.src[i]) && p.src[i] != '=' && p.src[i] != '>' && p.src[i] != '/' {
 			i++
 		}
-		key := strings.ToLower(p.src[aStart:i])
+		key := p.lower(p.src[aStart:i])
 		val := ""
 		for i < len(p.src) && isSpace(p.src[i]) {
 			i++
@@ -213,10 +370,17 @@ func (p *parser) openTag() (name string, attrs map[string]string, selfClose bool
 			}
 		}
 		if key != "" {
-			if attrs == nil {
-				attrs = make(map[string]string)
+			// Duplicate attribute: per the HTML spec the first wins.
+			dup := false
+			for j := range scratch {
+				if scratch[j].Key == key {
+					dup = true
+					break
+				}
 			}
-			attrs[key] = val
+			if !dup {
+				scratch = append(scratch, Attr{Key: key, Value: val})
+			}
 		}
 	}
 }
@@ -331,9 +495,7 @@ func Resources(root *Node, baseURL string) []Resource {
 			}
 		case "script":
 			if src := n.Attr("src"); src != "" {
-				_, async := n.Attrs["async"]
-				_, deferred := n.Attrs["defer"]
-				add(src, ResScript, async || deferred)
+				add(src, ResScript, n.HasAttr("async") || n.HasAttr("defer"))
 			}
 		case "img":
 			add(n.Attr("src"), ResImage, false)

@@ -56,7 +56,7 @@ func TestAttributes(t *testing.T) {
 	if a.Attr("data-x") != "bare" {
 		t.Errorf("data-x = %q", a.Attr("data-x"))
 	}
-	if _, ok := a.Attrs["checked"]; !ok {
+	if !a.HasAttr("checked") {
 		t.Error("bare attribute missing")
 	}
 }

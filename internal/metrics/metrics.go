@@ -66,12 +66,12 @@ func FromTrace(r *PageRun, rec *trace.Recorder, onload time.Duration, params rad
 	// completion notification, seconds after the page is done) is outside
 	// the page-load measurement for every scheme alike.
 	horizon := r.TLT
-	var acts []radio.Activity
-	for _, a := range rec.Activities() {
-		if a.At <= horizon {
-			acts = append(acts, a)
+	acts := make([]radio.Activity, 0, rec.Len())
+	rec.Each(func(p trace.Packet) {
+		if p.At <= horizon {
+			acts = append(acts, radio.Activity{At: p.At, Bytes: p.Size})
 		}
-	}
+	})
 	r.Radio = radio.Simulate(acts, params, horizon)
 	r.RadioJ = r.Radio.TotalEnergy
 }

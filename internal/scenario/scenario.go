@@ -98,6 +98,11 @@ func Build(page webgen.Page, p Params) *Topology {
 	n := simnet.New(sim)
 
 	clientTrace := &trace.Recorder{}
+	// The page's size is known here: the capture holds roughly one DATA
+	// packet per MSS of body, an ACK for every other segment, and a few
+	// handshake/DNS/control packets per object. Reserving that estimate makes
+	// the whole capture one allocation instead of a growing block chain.
+	clientTrace.Reserve(int(page.TotalBytes/simnet.MSS)*3/2 + page.ObjectCount*8 + 64)
 	clientCfg := simnet.HostConfig{
 		DownlinkBps: p.LTEDownBps, UplinkBps: p.LTEUpBps, Recorder: clientTrace,
 	}

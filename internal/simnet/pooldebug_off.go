@@ -1,0 +1,11 @@
+//go:build !simdebug
+
+package simnet
+
+// checkPacketFree and checkOutMsgFree enforce the pool ownership contract
+// (no double frees). In normal builds they compile to nothing; build with
+// -tags simdebug to make a double free panic (see pooldebug_on.go).
+
+func checkPacketFree(*packet) {}
+
+func checkOutMsgFree(*outMsg) {}

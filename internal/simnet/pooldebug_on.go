@@ -1,0 +1,23 @@
+//go:build simdebug
+
+package simnet
+
+import "fmt"
+
+// With -tags simdebug every release checks the pooled flag, so returning a
+// packet or message to the free list twice — which would silently alias two
+// in-flight deliveries onto one object — panics at the offending call site.
+// This mirrors the eventsim owner check: a contract that is free in normal
+// builds and loud in debug builds.
+
+func checkPacketFree(p *packet) {
+	if p.pooled {
+		panic(fmt.Sprintf("simnet: double free of packet (conn %d, kind %v)", p.connID, p.kind))
+	}
+}
+
+func checkOutMsgFree(m *outMsg) {
+	if m.pooled {
+		panic(fmt.Sprintf("simnet: double free of outMsg (size %d, label %q)", m.size, m.label))
+	}
+}

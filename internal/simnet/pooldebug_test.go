@@ -1,0 +1,54 @@
+//go:build simdebug
+
+package simnet
+
+import (
+	"testing"
+
+	"github.com/parcel-go/parcel/internal/eventsim"
+)
+
+// These tests only exist under -tags simdebug: they prove the pool ownership
+// checks actually fire. In normal builds the checks compile to nothing, so
+// there is nothing to test there.
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic, got none", name)
+		}
+	}()
+	fn()
+}
+
+func TestDoubleFreePacketPanics(t *testing.T) {
+	n := New(eventsim.New(1))
+	p := n.newPacket()
+	n.releasePacket(p)
+	mustPanic(t, "double releasePacket", func() { n.releasePacket(p) })
+}
+
+func TestDoubleFreeOutMsgPanics(t *testing.T) {
+	n := New(eventsim.New(1))
+	m := n.newOutMsg()
+	n.releaseOutMsg(m)
+	mustPanic(t, "double releaseOutMsg", func() { n.releaseOutMsg(m) })
+}
+
+// TestPoolReuseAfterFree sanity-checks the happy path under the debug
+// build: allocate, free, re-allocate — the recycled object must come back
+// with the pooled flag cleared so a later legitimate free succeeds.
+func TestPoolReuseAfterFree(t *testing.T) {
+	n := New(eventsim.New(1))
+	p := n.newPacket()
+	n.releasePacket(p)
+	q := n.newPacket()
+	if q != p {
+		t.Fatal("free list did not recycle the released packet")
+	}
+	if q.pooled {
+		t.Fatal("recycled packet still marked pooled")
+	}
+	n.releasePacket(q) // must not panic
+}

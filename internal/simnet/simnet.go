@@ -14,6 +14,15 @@
 // serialization at both access links, propagation delay and the congestion
 // window, and delivers each message exactly once, in order, to the receiving
 // host's handler.
+//
+// Memory discipline: the per-segment data path is allocation-free. Wire
+// packets and in-flight messages are drawn from per-Network free lists backed
+// by arena blocks, delivery continuations are encoded as typed packet fields
+// dispatched by package-level functions (no per-packet closures), and path
+// parameters are cached per host so the per-packet lookup never hashes.
+// A packet is owned by the network from transmit until its delivery dispatch
+// runs, then returns to the free list; build with -tags simdebug to turn
+// that ownership contract into a double-free panic check.
 package simnet
 
 import (
@@ -53,6 +62,15 @@ type HostConfig struct {
 	Recorder *trace.Recorder
 }
 
+// peerPath caches the path parameters toward one directly wired peer, so the
+// per-packet lookup is a short pointer scan instead of a map hash on a
+// composite string key. Topologies wire a handful of paths per host, so the
+// scan beats hashing even before the allocation the map key used to cost.
+type peerPath struct {
+	to     *Host
+	params PathParams
+}
+
 // Host is a network endpoint.
 type Host struct {
 	Name string
@@ -62,8 +80,21 @@ type Host struct {
 	egressBusy  time.Duration
 	ingressBusy time.Duration
 
+	peers []peerPath
+
 	accept func(*Conn)
 	dgram  func(from *Host, payload any, size int, at time.Duration)
+}
+
+// pathTo returns the cached path parameters toward to; it panics if the pair
+// was never wired, which catches topology mistakes at their source.
+func (h *Host) pathTo(to *Host) PathParams {
+	for i := range h.peers {
+		if h.peers[i].to == to {
+			return h.peers[i].params
+		}
+	}
+	panic(fmt.Sprintf("simnet: no path between %q and %q", h.Name, to.Name))
 }
 
 // Network owns the hosts and the paths between them.
@@ -72,6 +103,12 @@ type Network struct {
 	hosts      map[string]*Host
 	paths      map[pathKey]PathParams
 	nextConnID uint64
+
+	// free lists + arena blocks for the allocation-free data path.
+	pktArena []packet
+	pktFree  *packet
+	msgArena []outMsg
+	msgFree  *outMsg
 }
 
 type pathKey struct{ a, b string }
@@ -121,6 +158,18 @@ func (n *Network) SetPath(a, b *Host, p PathParams) {
 		panic("simnet: path to self")
 	}
 	n.paths[orderedKey(a.Name, b.Name)] = p
+	setPeer(a, b, p)
+	setPeer(b, a, p)
+}
+
+func setPeer(h, to *Host, p PathParams) {
+	for i := range h.peers {
+		if h.peers[i].to == to {
+			h.peers[i].params = p
+			return
+		}
+	}
+	h.peers = append(h.peers, peerPath{to: to, params: p})
 }
 
 // PathBetween returns the path parameters between two hosts; it panics if the
@@ -133,23 +182,93 @@ func (n *Network) PathBetween(a, b *Host) PathParams {
 	return p
 }
 
-// packet is an in-flight wire packet.
+// packet is an in-flight wire packet, pooled per Network. The delivery
+// continuation lives in typed fields: data segments and ACKs carry their
+// sender-side state directly (the allocation-free fast path), everything else
+// (handshake, FIN, datagrams) uses the generic arrive callback.
 type packet struct {
+	net      *Network
+	from, to *Host
+
 	size    int // wire bytes including headers
 	kind    trace.Kind
 	connID  uint64
 	label   string
 	payload any
-	arrive  func(at time.Duration) // invoked at delivery on the receiving side
+	arrive  func(at time.Duration) // generic continuation, may be nil
+
+	// data-path continuation (set instead of arrive on the fast path)
+	sender     *sender
+	msg        *outMsg
+	segPayload int
+	isMsgLast  bool
+	ackCovered int
+
+	deliverAt time.Duration
+
+	nextFree *packet
+	pooled   bool // true while on the free list (double-free detection)
+}
+
+const poolBlockSize = 64
+
+// newPacket pops a packet off the free list, or carves one from the arena.
+// The returned packet is zeroed except for bookkeeping fields.
+func (n *Network) newPacket() *packet {
+	if p := n.pktFree; p != nil {
+		n.pktFree = p.nextFree
+		p.nextFree = nil
+		p.pooled = false
+		return p
+	}
+	if len(n.pktArena) == 0 {
+		n.pktArena = make([]packet, poolBlockSize)
+	}
+	p := &n.pktArena[0]
+	n.pktArena = n.pktArena[1:]
+	return p
+}
+
+// releasePacket returns p to the free list, dropping every reference it
+// holds. Releasing a packet twice corrupts the free list; build with
+// -tags simdebug to panic at the offending call site instead.
+func (n *Network) releasePacket(p *packet) {
+	checkPacketFree(p)
+	*p = packet{nextFree: n.pktFree, pooled: true}
+	n.pktFree = p
+}
+
+// newOutMsg pops an in-flight message off the free list or the arena.
+func (n *Network) newOutMsg() *outMsg {
+	if m := n.msgFree; m != nil {
+		n.msgFree = m.nextFree
+		m.nextFree = nil
+		m.pooled = false
+		return m
+	}
+	if len(n.msgArena) == 0 {
+		n.msgArena = make([]outMsg, poolBlockSize)
+	}
+	m := &n.msgArena[0]
+	n.msgArena = n.msgArena[1:]
+	return m
+}
+
+// releaseOutMsg returns m to the free list once its last byte was delivered.
+func (n *Network) releaseOutMsg(m *outMsg) {
+	checkOutMsgFree(m)
+	*m = outMsg{nextFree: n.msgFree, pooled: true}
+	n.msgFree = m
 }
 
 // transmit pushes a packet through from's egress queue, the propagation
-// path, and to's ingress queue, then invokes pkt.arrive. It models FIFO
-// serialization at both access links, which is what makes concurrent
-// connections share bandwidth.
-func (n *Network) transmit(from, to *Host, pkt packet) {
+// path, and to's ingress queue, then runs its delivery continuation. It
+// models FIFO serialization at both access links, which is what makes
+// concurrent connections share bandwidth. The packet must come from
+// newPacket; transmit owns it until delivery dispatch releases it.
+func (n *Network) transmit(from, to *Host, pkt *packet) {
 	now := n.Sim.Now()
-	path := n.PathBetween(from, to)
+	path := from.pathTo(to)
 
 	depart := now
 	if depart < from.egressBusy {
@@ -177,45 +296,81 @@ func (n *Network) transmit(from, to *Host, pkt packet) {
 		}
 		prop += time.Duration(noise)
 	}
-	arriveIngress := depart + prop
 
-	n.Sim.ScheduleAt(arriveIngress, func() {
-		deliver := n.Sim.Now()
-		if deliver < to.ingressBusy {
-			deliver = to.ingressBusy
-		}
-		if to.cfg.DownlinkBps > 0 {
-			deliver += time.Duration(float64(pkt.size) / float64(to.cfg.DownlinkBps) * float64(time.Second))
-		}
-		to.ingressBusy = deliver
-		n.Sim.ScheduleAt(deliver, func() {
-			if to.cfg.Recorder != nil {
-				to.cfg.Recorder.Record(trace.Packet{
-					At: deliver, Size: pkt.size, Dir: trace.Down, Kind: pkt.kind,
-					Conn: pkt.connID, Label: pkt.label,
-				})
-			}
-			if pkt.arrive != nil {
-				pkt.arrive(deliver)
-			}
+	pkt.net = n
+	pkt.from = from
+	pkt.to = to
+	n.Sim.ScheduleArgAt(depart+prop, pktIngress, pkt)
+}
+
+// pktIngress runs when a packet reaches the receiver's access link: it queues
+// behind earlier arrivals (FIFO ingress serialization) and schedules the
+// delivery instant.
+func pktIngress(v any) {
+	p := v.(*packet)
+	n := p.net
+	to := p.to
+	deliver := n.Sim.Now()
+	if deliver < to.ingressBusy {
+		deliver = to.ingressBusy
+	}
+	if to.cfg.DownlinkBps > 0 {
+		deliver += time.Duration(float64(p.size) / float64(to.cfg.DownlinkBps) * float64(time.Second))
+	}
+	to.ingressBusy = deliver
+	p.deliverAt = deliver
+	n.Sim.ScheduleArgAt(deliver, pktDeliver, p)
+}
+
+// pktDeliver records the arrival, releases the packet, and runs its
+// continuation. The continuation state is copied to locals first so the
+// packet can be reused by sends the continuation itself triggers.
+func pktDeliver(v any) {
+	p := v.(*packet)
+	n := p.net
+	to := p.to
+	at := p.deliverAt
+	if to.cfg.Recorder != nil {
+		to.cfg.Recorder.Record(trace.Packet{
+			At: at, Size: p.size, Dir: trace.Down, Kind: p.kind,
+			Conn: p.connID, Label: p.label,
 		})
-	})
+	}
+	switch {
+	case p.sender != nil && p.kind == trace.KindData:
+		s, msg, seg, last := p.sender, p.msg, p.segPayload, p.isMsgLast
+		n.releasePacket(p)
+		s.onSegmentArrived(msg, seg, last, at)
+	case p.sender != nil && p.kind == trace.KindACK:
+		s, covered := p.sender, p.ackCovered
+		n.releasePacket(p)
+		s.onAck(covered)
+	default:
+		arrive := p.arrive
+		n.releasePacket(p)
+		if arrive != nil {
+			arrive(at)
+		}
+	}
 }
 
 // SendDatagram delivers a single connectionless packet (the DNS substrate
 // uses this). size is the wire size; onDelivered may be nil.
 func (h *Host) SendDatagram(to *Host, size int, payload any, onDelivered func(at time.Duration)) {
-	h.net.transmit(h, to, packet{
-		size: size, kind: trace.KindDNS, payload: payload,
-		arrive: func(at time.Duration) {
-			if to.dgram != nil {
-				to.dgram(h, payload, size, at)
-			}
-			if onDelivered != nil {
-				onDelivered(at)
-			}
-		},
-	})
+	p := h.net.newPacket()
+	p.size = size
+	p.kind = trace.KindDNS
+	p.payload = payload
+	from := h
+	p.arrive = func(at time.Duration) {
+		if to.dgram != nil {
+			to.dgram(from, payload, size, at)
+		}
+		if onDelivered != nil {
+			onDelivered(at)
+		}
+	}
+	h.net.transmit(h, to, p)
 }
 
 // HandleDatagrams registers the host's datagram handler.
@@ -237,6 +392,8 @@ type Message struct {
 
 // Conn is a reliable, in-order, message-preserving bidirectional stream
 // between two hosts, with TCP-like congestion behaviour per direction.
+// The two per-direction sender states are embedded so a Dial costs a single
+// allocation.
 type Conn struct {
 	ID          uint64
 	net         *Network
@@ -246,10 +403,12 @@ type Conn struct {
 	closed      bool
 
 	// one sender state per direction
-	toResponder *sender // initiator -> responder
-	toInitiator *sender // responder -> initiator
+	sndToResponder sender // initiator -> responder
+	sndToInitiator sender // responder -> initiator
 
-	onMessage map[string]func(Message) // keyed by receiving host name
+	// message handlers, one per endpoint (replaces a per-conn map)
+	msgAtInitiator func(Message)
+	msgAtResponder func(Message)
 
 	pendingDial []func() // sends queued before the handshake completed
 }
@@ -266,6 +425,8 @@ type sender struct {
 	unackedSegs int // data segments received but not yet ACKed (receiver side bookkeeping kept at sender's peer)
 }
 
+// outMsg is an in-flight application message, pooled per Network: it returns
+// to the free list when its last byte is delivered.
 type outMsg struct {
 	size      int
 	remaining int // bytes not yet handed to the wire
@@ -273,6 +434,9 @@ type outMsg struct {
 	payload   any
 	label     string
 	delivered func(at time.Duration)
+
+	nextFree *outMsg
+	pooled   bool
 }
 
 // Dial opens a connection from h to remote. onEstablished runs at h when the
@@ -285,32 +449,35 @@ func (h *Host) Dial(remote *Host, onEstablished func(*Conn)) *Conn {
 		net:       n,
 		initiator: h,
 		responder: remote,
-		onMessage: make(map[string]func(Message)),
 	}
-	c.toResponder = &sender{conn: c, from: h, to: remote, cwnd: InitialCwnd}
-	c.toInitiator = &sender{conn: c, from: remote, to: h, cwnd: InitialCwnd}
+	c.sndToResponder = sender{conn: c, from: h, to: remote, cwnd: InitialCwnd}
+	c.sndToInitiator = sender{conn: c, from: remote, to: h, cwnd: InitialCwnd}
 
-	n.transmit(h, remote, packet{
-		size: HeaderSize, kind: trace.KindSYN, connID: c.ID,
-		arrive: func(at time.Duration) {
-			if remote.accept != nil {
-				remote.accept(c)
+	syn := n.newPacket()
+	syn.size = HeaderSize
+	syn.kind = trace.KindSYN
+	syn.connID = c.ID
+	syn.arrive = func(at time.Duration) {
+		if remote.accept != nil {
+			remote.accept(c)
+		}
+		synack := n.newPacket()
+		synack.size = HeaderSize
+		synack.kind = trace.KindSYNACK
+		synack.connID = c.ID
+		synack.arrive = func(at time.Duration) {
+			c.established = true
+			if onEstablished != nil {
+				onEstablished(c)
 			}
-			n.transmit(remote, h, packet{
-				size: HeaderSize, kind: trace.KindSYNACK, connID: c.ID,
-				arrive: func(at time.Duration) {
-					c.established = true
-					if onEstablished != nil {
-						onEstablished(c)
-					}
-					for _, fn := range c.pendingDial {
-						fn()
-					}
-					c.pendingDial = nil
-				},
-			})
-		},
-	})
+			for _, fn := range c.pendingDial {
+				fn()
+			}
+			c.pendingDial = nil
+		}
+		n.transmit(remote, h, synack)
+	}
+	n.transmit(h, remote, syn)
 	return c
 }
 
@@ -333,10 +500,22 @@ func (c *Conn) Peer(h *Host) *Host {
 
 // OnMessage registers the handler invoked for every message delivered to at.
 func (c *Conn) OnMessage(at *Host, fn func(Message)) {
-	if at != c.initiator && at != c.responder {
+	switch at {
+	case c.initiator:
+		c.msgAtInitiator = fn
+	case c.responder:
+		c.msgAtResponder = fn
+	default:
 		panic(fmt.Sprintf("simnet: host %q not on conn %d", at.Name, c.ID))
 	}
-	c.onMessage[at.Name] = fn
+}
+
+// handlerAt returns the message handler registered for deliveries at h.
+func (c *Conn) handlerAt(h *Host) func(Message) {
+	if h == c.initiator {
+		return c.msgAtInitiator
+	}
+	return c.msgAtResponder
 }
 
 // Send queues a message of size bytes from host `from` to its peer. The
@@ -350,27 +529,33 @@ func (c *Conn) Send(from *Host, size int, payload any, label string, onDelivered
 		panic(fmt.Sprintf("simnet: message size %d", size))
 	}
 	s := c.senderFrom(from)
-	msg := &outMsg{size: size, remaining: size, undeliv: size, payload: payload, label: label, delivered: onDelivered}
-	doSend := func() {
-		s.queue = append(s.queue, msg)
-		s.pump()
-	}
+	msg := c.net.newOutMsg()
+	msg.size = size
+	msg.remaining = size
+	msg.undeliv = size
+	msg.payload = payload
+	msg.label = label
+	msg.delivered = onDelivered
 	// The responder may reply on a connection whose SYN-ACK is still in
 	// flight back to the initiator (TCP allows data right after SYN-ACK);
 	// only the initiator must wait for establishment.
 	if !c.established && from == c.initiator {
-		c.pendingDial = append(c.pendingDial, doSend)
+		c.pendingDial = append(c.pendingDial, func() {
+			s.queue = append(s.queue, msg)
+			s.pump()
+		})
 		return
 	}
-	doSend()
+	s.queue = append(s.queue, msg)
+	s.pump()
 }
 
 func (c *Conn) senderFrom(from *Host) *sender {
 	switch from {
 	case c.initiator:
-		return c.toResponder
+		return &c.sndToResponder
 	case c.responder:
-		return c.toInitiator
+		return &c.sndToInitiator
 	default:
 		panic(fmt.Sprintf("simnet: host %q not on conn %d", from.Name, c.ID))
 	}
@@ -382,14 +567,24 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
-	c.net.transmit(c.initiator, c.responder, packet{size: HeaderSize, kind: trace.KindFIN, connID: c.ID})
-	c.net.transmit(c.responder, c.initiator, packet{size: HeaderSize, kind: trace.KindFIN, connID: c.ID})
+	fin1 := c.net.newPacket()
+	fin1.size = HeaderSize
+	fin1.kind = trace.KindFIN
+	fin1.connID = c.ID
+	c.net.transmit(c.initiator, c.responder, fin1)
+	fin2 := c.net.newPacket()
+	fin2.size = HeaderSize
+	fin2.kind = trace.KindFIN
+	fin2.connID = c.ID
+	c.net.transmit(c.responder, c.initiator, fin2)
 }
 
 // Closed reports whether Close was called.
 func (c *Conn) Closed() bool { return c.closed }
 
-// pump transmits as many segments as the congestion window allows.
+// pump transmits as many segments as the congestion window allows. Each
+// segment is a pooled packet carrying its continuation in typed fields —
+// no per-segment closure.
 func (s *sender) pump() {
 	for s.inflight < int(s.cwnd) && len(s.queue) > 0 {
 		head := s.queue[0]
@@ -401,18 +596,21 @@ func (s *sender) pump() {
 		isMsgLast := head.remaining == 0
 		if isMsgLast {
 			// Move the head out of the send queue; delivery bookkeeping
-			// continues via the closure below.
+			// continues via the packet's msg reference.
 			s.queue = s.queue[1:]
 		}
 		s.inflight++
-		msg := head
-		s.conn.net.transmit(s.from, s.to, packet{
-			size: segPayload + HeaderSize, kind: trace.KindData,
-			connID: s.conn.ID, label: msg.label,
-			arrive: func(at time.Duration) {
-				s.onSegmentArrived(msg, segPayload, isMsgLast, at)
-			},
-		})
+		n := s.conn.net
+		p := n.newPacket()
+		p.size = segPayload + HeaderSize
+		p.kind = trace.KindData
+		p.connID = s.conn.ID
+		p.label = head.label
+		p.sender = s
+		p.msg = head
+		p.segPayload = segPayload
+		p.isMsgLast = isMsgLast
+		n.transmit(s.from, s.to, p)
 	}
 }
 
@@ -420,12 +618,13 @@ func (s *sender) pump() {
 func (s *sender) onSegmentArrived(msg *outMsg, segPayload int, isMsgLast bool, at time.Duration) {
 	msg.undeliv -= segPayload
 	if msg.undeliv == 0 {
-		if handler := s.conn.onMessage[s.to.Name]; handler != nil {
+		if handler := s.conn.handlerAt(s.to); handler != nil {
 			handler(Message{Payload: msg.payload, Size: msg.size, At: at})
 		}
 		if msg.delivered != nil {
 			msg.delivered(at)
 		}
+		s.conn.net.releaseOutMsg(msg)
 	}
 	// Delayed ACK: one ACK per delayedAckCount segments, flushed immediately
 	// when a message completes (mirrors the TCP quickack-on-PSH behaviour).
@@ -433,10 +632,14 @@ func (s *sender) onSegmentArrived(msg *outMsg, segPayload int, isMsgLast bool, a
 	if s.unackedSegs >= delayedAckCount || isMsgLast {
 		covered := s.unackedSegs
 		s.unackedSegs = 0
-		s.conn.net.transmit(s.to, s.from, packet{
-			size: AckSize, kind: trace.KindACK, connID: s.conn.ID,
-			arrive: func(time.Duration) { s.onAck(covered) },
-		})
+		n := s.conn.net
+		p := n.newPacket()
+		p.size = AckSize
+		p.kind = trace.KindACK
+		p.connID = s.conn.ID
+		p.sender = s
+		p.ackCovered = covered
+		n.transmit(s.to, s.from, p)
 	}
 }
 

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// naiveRecorder is the obviously-correct single-slice reference model the
+// chunked Recorder is checked against: every derived metric recomputed from
+// one flat append-only slice.
+type naiveRecorder struct {
+	pkts []Packet
+}
+
+func (r *naiveRecorder) record(p Packet) { r.pkts = append(r.pkts, p) }
+
+func (r *naiveRecorder) totalBytes(dir *Dir) int64 {
+	var sum int64
+	for _, p := range r.pkts {
+		if dir == nil || p.Dir == *dir {
+			sum += int64(p.Size)
+		}
+	}
+	return sum
+}
+
+func (r *naiveRecorder) first() (time.Duration, bool) {
+	if len(r.pkts) == 0 {
+		return 0, false
+	}
+	min := r.pkts[0].At
+	for _, p := range r.pkts {
+		if p.At < min {
+			min = p.At
+		}
+	}
+	return min, true
+}
+
+func (r *naiveRecorder) last() (time.Duration, bool) {
+	if len(r.pkts) == 0 {
+		return 0, false
+	}
+	max := r.pkts[0].At
+	for _, p := range r.pkts {
+		if p.At > max {
+			max = p.At
+		}
+	}
+	return max, true
+}
+
+func (r *naiveRecorder) lastDataAt() (time.Duration, bool) {
+	var max time.Duration
+	found := false
+	for _, p := range r.pkts {
+		if p.Kind == KindData && (!found || p.At > max) {
+			max, found = p.At, true
+		}
+	}
+	return max, found
+}
+
+func (r *naiveRecorder) gapHistogram() []time.Duration {
+	if len(r.pkts) < 2 {
+		return nil
+	}
+	times := make([]time.Duration, len(r.pkts))
+	for i, p := range r.pkts {
+		times[i] = p.At
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	gaps := make([]time.Duration, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, times[i]-times[i-1])
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	return gaps
+}
+
+func randomPacket(rng *rand.Rand) Packet {
+	return Packet{
+		At:   time.Duration(rng.Int63n(int64(10 * time.Second))),
+		Size: rng.Intn(1500) + 1,
+		Dir:  Dir(rng.Intn(2)),
+		Kind: Kind(rng.Intn(6)),
+		Conn: uint64(rng.Intn(8)),
+	}
+}
+
+// TestRecorderMatchesNaiveReference drives the chunked Recorder and the
+// flat-slice reference with identical random captures — sized to straddle
+// block boundaries — and requires every derived metric to agree exactly. It
+// interleaves Reset and Reserve calls so block reuse is exercised too.
+func TestRecorderMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Counts around the block size and several multiples of it, so the
+	// chain has 0, 1, exactly-full, and many-block shapes.
+	counts := []int{0, 1, 7, blockSize - 1, blockSize, blockSize + 1,
+		2*blockSize - 1, 3 * blockSize, 3*blockSize + 13}
+	rec := &Recorder{}
+	for round, count := range counts {
+		rec.Reset()
+		if round%2 == 1 {
+			rec.Reserve(count) // every other round exercises pre-sizing
+		}
+		ref := &naiveRecorder{}
+		for i := 0; i < count; i++ {
+			p := randomPacket(rng)
+			rec.Record(p)
+			ref.record(p)
+		}
+		if rec.Len() != len(ref.pkts) {
+			t.Fatalf("round %d: Len = %d, want %d", round, rec.Len(), len(ref.pkts))
+		}
+		// Packets() materialisation preserves record order.
+		got := rec.Packets()
+		for i := range ref.pkts {
+			if got[i] != ref.pkts[i] {
+				t.Fatalf("round %d: Packets()[%d] = %+v, want %+v", round, i, got[i], ref.pkts[i])
+			}
+		}
+		// Each visits the same sequence.
+		i := 0
+		rec.Each(func(p Packet) {
+			if p != ref.pkts[i] {
+				t.Fatalf("round %d: Each index %d = %+v, want %+v", round, i, p, ref.pkts[i])
+			}
+			i++
+		})
+		if i != len(ref.pkts) {
+			t.Fatalf("round %d: Each visited %d packets, want %d", round, i, len(ref.pkts))
+		}
+		// PacketsSince agrees at every cut point (sampled).
+		for _, cut := range []int{0, 1, count / 2, count - 1, count, count + 5} {
+			if cut < 0 {
+				continue
+			}
+			since := rec.PacketsSince(cut)
+			want := 0
+			if cut < len(ref.pkts) {
+				want = len(ref.pkts) - cut
+			}
+			if len(since) != want {
+				t.Fatalf("round %d: PacketsSince(%d) len = %d, want %d", round, cut, len(since), want)
+			}
+			for j := range since {
+				if since[j] != ref.pkts[cut+j] {
+					t.Fatalf("round %d: PacketsSince(%d)[%d] mismatch", round, cut, j)
+				}
+			}
+		}
+		up := Up
+		for name, pair := range map[string][2]int64{
+			"TotalBytes(nil)": {rec.TotalBytes(nil), ref.totalBytes(nil)},
+			"TotalBytes(Up)":  {rec.TotalBytes(&up), func() int64 { d := Up; return ref.totalBytes(&d) }()},
+		} {
+			if pair[0] != pair[1] {
+				t.Fatalf("round %d: %s = %d, want %d", round, name, pair[0], pair[1])
+			}
+		}
+		gf, gok := rec.First()
+		wf, wok := ref.first()
+		if gf != wf || gok != wok {
+			t.Fatalf("round %d: First = (%v,%v), want (%v,%v)", round, gf, gok, wf, wok)
+		}
+		gl, gok := rec.Last()
+		wl, wok := ref.last()
+		if gl != wl || gok != wok {
+			t.Fatalf("round %d: Last = (%v,%v), want (%v,%v)", round, gl, gok, wl, wok)
+		}
+		gd, gok := rec.LastDataAt()
+		wd, wok := ref.lastDataAt()
+		if gd != wd || gok != wok {
+			t.Fatalf("round %d: LastDataAt = (%v,%v), want (%v,%v)", round, gd, gok, wd, wok)
+		}
+		gGaps, wGaps := rec.GapHistogram(), ref.gapHistogram()
+		if len(gGaps) != len(wGaps) {
+			t.Fatalf("round %d: GapHistogram len = %d, want %d", round, len(gGaps), len(wGaps))
+		}
+		for j := range wGaps {
+			if gGaps[j] != wGaps[j] {
+				t.Fatalf("round %d: GapHistogram[%d] = %v, want %v", round, j, gGaps[j], wGaps[j])
+			}
+		}
+	}
+}
+
+// TestResetReleasesBlocks pins the memory-discipline fix: after a large
+// capture, Reset must drop every block beyond the first so a reused recorder
+// does not retain the peak capture.
+func TestResetReleasesBlocks(t *testing.T) {
+	rec := &Recorder{}
+	for i := 0; i < 5*blockSize; i++ {
+		rec.Record(Packet{At: time.Duration(i), Size: 1})
+	}
+	if len(rec.blocks) < 5 {
+		t.Fatalf("expected >=5 blocks before Reset, got %d", len(rec.blocks))
+	}
+	rec.Reset()
+	if len(rec.blocks) != 1 {
+		t.Fatalf("Reset kept %d blocks, want 1", len(rec.blocks))
+	}
+	if rec.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", rec.Len())
+	}
+	// The retained block is reusable without reallocation.
+	if cap(rec.blocks[0]) != blockSize {
+		t.Fatalf("retained block cap = %d, want %d", cap(rec.blocks[0]), blockSize)
+	}
+	rec.Record(Packet{At: 1, Size: 2})
+	if rec.Len() != 1 {
+		t.Fatal("record after Reset failed")
+	}
+}

@@ -59,32 +59,124 @@ type Packet struct {
 	Label string // free-form annotation (e.g. object URL)
 }
 
+// blockSize is how many packets one Recorder block holds. Appends fill the
+// current block and start a new one when it is full: no slice-doubling copy
+// of the whole capture ever happens, and a block is one allocation for 512
+// packet slots.
+const blockSize = 512
+
 // Recorder accumulates packets observed at one host. The zero value is ready
 // to use. Recorder is not safe for concurrent use; the simulator is
 // single-threaded by construction.
+//
+// Storage is a chain of fixed-size blocks (see blockSize): Record is an
+// append into the tail block, derived metrics iterate the chain, and Reset
+// keeps only the first block so a Recorder reused across thousands of sweep
+// rounds does not pin the peak capture's memory.
 type Recorder struct {
-	packets []Packet
+	blocks [][]Packet
+	n      int
 }
 
 // Record appends one packet event.
-func (r *Recorder) Record(p Packet) { r.packets = append(r.packets, p) }
+func (r *Recorder) Record(p Packet) {
+	if nb := len(r.blocks); nb == 0 || len(r.blocks[nb-1]) == cap(r.blocks[nb-1]) {
+		r.blocks = append(r.blocks, make([]Packet, 0, blockSize))
+	}
+	last := len(r.blocks) - 1
+	r.blocks[last] = append(r.blocks[last], p)
+	r.n++
+}
 
-// Packets returns the capture in arrival order (the order recorded).
-func (r *Recorder) Packets() []Packet { return r.packets }
+// Reserve pre-sizes the recorder for a capture of about n packets, so a
+// caller that knows its object count (a page scenario, a proxy session) pays
+// one allocation up front instead of growing block by block. It only has an
+// effect on an empty recorder.
+func (r *Recorder) Reserve(n int) {
+	if r.n > 0 || n <= blockSize {
+		return
+	}
+	if len(r.blocks) == 0 {
+		r.blocks = append(r.blocks, make([]Packet, 0, n))
+		return
+	}
+	if len(r.blocks) == 1 && cap(r.blocks[0]) < n {
+		r.blocks[0] = make([]Packet, 0, n)
+	}
+}
+
+// Each calls fn for every captured packet in record order. It is the
+// allocation-free way to scan the capture.
+func (r *Recorder) Each(fn func(Packet)) {
+	for _, b := range r.blocks {
+		for i := range b {
+			fn(b[i])
+		}
+	}
+}
+
+// Packets returns a copy of the capture in arrival order (the order
+// recorded). It materialises the block chain into one flat slice; use Each
+// for allocation-free scans on hot paths.
+func (r *Recorder) Packets() []Packet {
+	out := make([]Packet, 0, r.n)
+	for _, b := range r.blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// PacketsSince returns a copy of the packets recorded at index n and later
+// (by record order). It lets instrumentation that snapshots Len() before an
+// action diff the capture without copying the whole history.
+func (r *Recorder) PacketsSince(n int) []Packet {
+	if n < 0 {
+		n = 0
+	}
+	if n >= r.n {
+		return nil
+	}
+	out := make([]Packet, 0, r.n-n)
+	skip := n
+	for _, b := range r.blocks {
+		if skip >= len(b) {
+			skip -= len(b)
+			continue
+		}
+		out = append(out, b[skip:]...)
+		skip = 0
+	}
+	return out
+}
 
 // Len returns the number of captured packets.
-func (r *Recorder) Len() int { return len(r.packets) }
+func (r *Recorder) Len() int { return r.n }
 
-// Reset clears the capture.
-func (r *Recorder) Reset() { r.packets = r.packets[:0] }
+// Reset clears the capture. It keeps the first block (so steady-state reuse
+// does not re-allocate) and releases the rest: a recorder cycled over a
+// multi-thousand-round sweep holds one block, not the peak capture.
+func (r *Recorder) Reset() {
+	if len(r.blocks) == 0 {
+		r.n = 0
+		return
+	}
+	r.blocks[0] = r.blocks[0][:0]
+	for i := 1; i < len(r.blocks); i++ {
+		r.blocks[i] = nil
+	}
+	r.blocks = r.blocks[:1]
+	r.n = 0
+}
 
 // TotalBytes sums wire bytes across the capture, optionally filtered by
 // direction (pass nil for both).
 func (r *Recorder) TotalBytes(dir *Dir) int64 {
 	var sum int64
-	for _, p := range r.packets {
-		if dir == nil || p.Dir == *dir {
-			sum += int64(p.Size)
+	for _, b := range r.blocks {
+		for i := range b {
+			if dir == nil || b[i].Dir == *dir {
+				sum += int64(b[i].Size)
+			}
 		}
 	}
 	return sum
@@ -92,13 +184,15 @@ func (r *Recorder) TotalBytes(dir *Dir) int64 {
 
 // First returns the earliest packet time, or ok=false for an empty capture.
 func (r *Recorder) First() (time.Duration, bool) {
-	if len(r.packets) == 0 {
+	if r.n == 0 {
 		return 0, false
 	}
-	min := r.packets[0].At
-	for _, p := range r.packets[1:] {
-		if p.At < min {
-			min = p.At
+	min := r.blocks[0][0].At
+	for _, b := range r.blocks {
+		for i := range b {
+			if b[i].At < min {
+				min = b[i].At
+			}
 		}
 	}
 	return min, true
@@ -106,13 +200,15 @@ func (r *Recorder) First() (time.Duration, bool) {
 
 // Last returns the latest packet time, or ok=false for an empty capture.
 func (r *Recorder) Last() (time.Duration, bool) {
-	if len(r.packets) == 0 {
+	if r.n == 0 {
 		return 0, false
 	}
-	max := r.packets[0].At
-	for _, p := range r.packets[1:] {
-		if p.At > max {
-			max = p.At
+	max := r.blocks[0][0].At
+	for _, b := range r.blocks {
+		for i := range b {
+			if b[i].At > max {
+				max = b[i].At
+			}
 		}
 	}
 	return max, true
@@ -125,9 +221,11 @@ func (r *Recorder) Last() (time.Duration, bool) {
 func (r *Recorder) LastDataAt() (time.Duration, bool) {
 	var max time.Duration
 	found := false
-	for _, p := range r.packets {
-		if p.Kind == KindData && (!found || p.At > max) {
-			max, found = p.At, true
+	for _, b := range r.blocks {
+		for i := range b {
+			if b[i].Kind == KindData && (!found || b[i].At > max) {
+				max, found = b[i].At, true
+			}
 		}
 	}
 	return max, found
@@ -139,9 +237,11 @@ func (r *Recorder) LastDataAt() (time.Duration, bool) {
 func (r *Recorder) LastDataMatching(keep func(Packet) bool) (time.Duration, bool) {
 	var max time.Duration
 	found := false
-	for _, p := range r.packets {
-		if p.Kind == KindData && keep(p) && (!found || p.At > max) {
-			max, found = p.At, true
+	for _, b := range r.blocks {
+		for i := range b {
+			if b[i].Kind == KindData && keep(b[i]) && (!found || b[i].At > max) {
+				max, found = b[i].At, true
+			}
 		}
 	}
 	return max, found
@@ -150,9 +250,11 @@ func (r *Recorder) LastDataMatching(keep func(Packet) bool) (time.Duration, bool
 // Activities converts the capture into the radio model's activity series.
 // Every packet — data, ACK or DNS, up or down — keeps the radio in CR.
 func (r *Recorder) Activities() []radio.Activity {
-	acts := make([]radio.Activity, len(r.packets))
-	for i, p := range r.packets {
-		acts[i] = radio.Activity{At: p.At, Bytes: p.Size}
+	acts := make([]radio.Activity, 0, r.n)
+	for _, b := range r.blocks {
+		for i := range b {
+			acts = append(acts, radio.Activity{At: b[i].At, Bytes: b[i].Size})
+		}
 	}
 	return acts
 }
@@ -166,10 +268,12 @@ type Point struct {
 // CumulativeBytes returns the running total of DATA payload bytes in the
 // given direction over time — the series Figure 6a plots.
 func (r *Recorder) CumulativeBytes(dir Dir) []Point {
-	pkts := make([]Packet, 0, len(r.packets))
-	for _, p := range r.packets {
-		if p.Kind == KindData && p.Dir == dir {
-			pkts = append(pkts, p)
+	pkts := make([]Packet, 0, r.n)
+	for _, b := range r.blocks {
+		for i := range b {
+			if b[i].Kind == KindData && b[i].Dir == dir {
+				pkts = append(pkts, b[i])
+			}
 		}
 	}
 	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].At < pkts[j].At })
@@ -189,12 +293,14 @@ func (r *Recorder) CumulativeBytes(dir Dir) []Point {
 // GapHistogram returns the inter-packet gaps in the capture, sorted
 // ascending. Useful for validating burstiness claims (bundling reduces gaps).
 func (r *Recorder) GapHistogram() []time.Duration {
-	if len(r.packets) < 2 {
+	if r.n < 2 {
 		return nil
 	}
-	times := make([]time.Duration, len(r.packets))
-	for i, p := range r.packets {
-		times[i] = p.At
+	times := make([]time.Duration, 0, r.n)
+	for _, b := range r.blocks {
+		for i := range b {
+			times = append(times, b[i].At)
+		}
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	gaps := make([]time.Duration, 0, len(times)-1)
