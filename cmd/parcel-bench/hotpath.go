@@ -5,14 +5,38 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"testing"
 
 	"github.com/parcel-go/parcel/internal/core"
 	"github.com/parcel-go/parcel/internal/dirbrowser"
 	"github.com/parcel-go/parcel/internal/htmlparse"
+	"github.com/parcel-go/parcel/internal/minijs"
 	"github.com/parcel-go/parcel/internal/scenario"
 	"github.com/parcel-go/parcel/internal/webgen"
 )
+
+// newStubInterp builds an interpreter with no-op versions of the browser
+// builtins generated scripts call, so a script body can be benchmarked in
+// isolation from the engine.
+func newStubInterp() *minijs.Interp {
+	in := minijs.New()
+	noop := func([]minijs.Value) (minijs.Value, error) { return minijs.Null(), nil }
+	for _, name := range []string{"fetch", "fetchAsync", "setTimeout", "onEvent", "log"} {
+		in.BindNative(name, noop)
+	}
+	in.BindNative("rand", func([]minijs.Value) (minijs.Value, error) {
+		return minijs.Number(webgen.FixedRandValue), nil
+	})
+	in.Bind("document", minijs.Namespace(map[string]minijs.Value{
+		"write":  minijs.NativeValue(noop),
+		"append": minijs.NativeValue(noop),
+		"remove": minijs.NativeValue(noop),
+		"show":   minijs.NativeValue(noop),
+		"hide":   minijs.NativeValue(noop),
+	}))
+	return in
+}
 
 // hotpathBaselineAllocs is the PARCEL page-load allocation count measured
 // before the pooling/arena work (simnet closures per packet, map-backed
@@ -22,8 +46,10 @@ import (
 const hotpathBaselineAllocs = 29634
 
 // hotpathTargetAllocs is the regression budget: a PARCEL page load must stay
-// at or under this many allocations.
-const hotpathTargetAllocs = 15000
+// at or under this many allocations. Lowered from 15000 after the
+// compile-once minijs work (slot-resolved frames, program and page-artifact
+// caches) brought the measured load to ~4.4k.
+const hotpathTargetAllocs = 10000
 
 // hotpathCase is one measured benchmark in the hot-path report.
 type hotpathCase struct {
@@ -41,6 +67,9 @@ type hotpathReport struct {
 	ReductionPercent    float64       `json:"reduction_percent"`
 	WithinTarget        bool          `json:"within_target"`
 	Cases               []hotpathCase `json:"cases"`
+	// Minijs tracks the interpreter's own trajectory (compile-cache hit
+	// path and steady-state execution), like simnet/htmlparse/trace.
+	Minijs []hotpathCase `json:"minijs"`
 }
 
 // benchHotpath measures the allocation profile of the simulator's hot paths
@@ -87,22 +116,71 @@ func benchHotpath(w io.Writer, path string) error {
 		}},
 	}
 
+	// Minijs cases benchmark the interpreter on a real generated script
+	// body: steady-state execution on a reused interpreter (frames from the
+	// free lists) and the program-cache hit path.
+	var jsBody []byte
+	for _, obj := range page.Objects {
+		if strings.Contains(obj.ContentType, "javascript") {
+			jsBody = obj.Body
+			break
+		}
+	}
+	minijsCases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"MinijsExec", func(b *testing.B) {
+			prog, err := minijs.CompileBytes(jsBody)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := newStubInterp()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in.ResetOps()
+				if err := in.Run(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"MinijsCompileCached", func(b *testing.B) {
+			if _, err := minijs.CompileBytes(jsBody); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := minijs.CompileBytes(jsBody); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
 	rep := hotpathReport{
 		BaselineAllocsPerOp: hotpathBaselineAllocs,
 		TargetAllocsPerOp:   hotpathTargetAllocs,
 	}
-	for _, c := range cases {
-		r := testing.Benchmark(c.fn)
+	measure := func(name string, fn func(b *testing.B)) hotpathCase {
+		r := testing.Benchmark(fn)
 		hc := hotpathCase{
-			Name:        c.name,
+			Name:        name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
-		rep.Cases = append(rep.Cases, hc)
-		fmt.Fprintf(w, "%-16s %10.0f ns/op %10d B/op %8d allocs/op\n",
+		fmt.Fprintf(w, "%-20s %10.0f ns/op %10d B/op %8d allocs/op\n",
 			hc.Name, hc.NsPerOp, hc.BytesPerOp, hc.AllocsPerOp)
+		return hc
+	}
+	for _, c := range cases {
+		rep.Cases = append(rep.Cases, measure(c.name, c.fn))
+	}
+	for _, c := range minijsCases {
+		rep.Minijs = append(rep.Minijs, measure(c.name, c.fn))
 	}
 
 	parcelAllocs := rep.Cases[0].AllocsPerOp

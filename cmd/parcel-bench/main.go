@@ -56,6 +56,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "simulation worker pool size (0 = one per CPU, 1 = serial)")
 	benchOut := flag.String("benchout", "BENCH_sweep.json", "output path for the benchsweep target")
 	hotpathOut := flag.String("hotpathout", "BENCH_hotpath.json", "output path for the benchhotpath target")
+	minSpeedup := flag.Float64("minspeedup", 0, "benchsweep fails if parallel speedup is below this (0 = no floor; use on multi-core CI)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -100,7 +101,7 @@ func main() {
 	// The timing targets run alone, before anything else competes for the
 	// machine.
 	if wantBench {
-		if err := benchSweep(os.Stdout, cfg, *benchOut); err != nil {
+		if err := benchSweep(os.Stdout, cfg, *benchOut, *minSpeedup); err != nil {
 			fmt.Fprintf(os.Stderr, "parcel-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -184,8 +185,10 @@ type benchReport struct {
 }
 
 // benchSweep times the same DIR+PARCEL(IND) sweep serially and on the worker
-// pool, checks the outputs agree, and writes the report to path.
-func benchSweep(w io.Writer, cfg experiments.Config, path string) error {
+// pool, checks the outputs agree, and writes the report to path. A non-zero
+// minSpeedup turns the measured speedup into a gate: on a multi-core runner
+// the parallel sweep must actually be faster, not just bit-identical.
+func benchSweep(w io.Writer, cfg experiments.Config, path string, minSpeedup float64) error {
 	header(w, "benchsweep: serial vs parallel Sweep wall clock")
 	schemes := []experiments.Scheme{
 		experiments.DIRScheme,
@@ -248,6 +251,10 @@ func benchSweep(w io.Writer, cfg experiments.Config, path string) error {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", path)
+	if minSpeedup > 0 && rep.Speedup < minSpeedup {
+		return fmt.Errorf("parallel sweep speedup %.2fx below required %.2fx (GOMAXPROCS=%d)",
+			rep.Speedup, minSpeedup, rep.GOMAXPROCS)
+	}
 	return nil
 }
 

@@ -18,7 +18,6 @@ import (
 	"strings"
 	"time"
 
-	"github.com/parcel-go/parcel/internal/cssparse"
 	"github.com/parcel-go/parcel/internal/eventsim"
 	"github.com/parcel-go/parcel/internal/htmlparse"
 	"github.com/parcel-go/parcel/internal/minijs"
@@ -283,7 +282,7 @@ func (e *Engine) dispatch(r Result, blocking bool, depth int) {
 	case strings.Contains(ct, "css"):
 		e.processCSS(r, blocking, depth)
 	case strings.Contains(ct, "javascript"):
-		e.execScript(string(r.Body), r.URL, blocking, depth)
+		e.execScriptBytesThen(r.Body, r.URL, blocking, depth, nil)
 		e.finish(blocking)
 	default:
 		cost := perKB(e.opt.CPU.ImageDecodePerKB, len(r.Body))
@@ -346,8 +345,12 @@ func perKB(d time.Duration, bytes int) time.Duration {
 func (e *Engine) processHTML(r Result, blocking bool, depth int) {
 	cost := perKB(e.opt.CPU.HTMLParsePerKB, len(r.Body))
 	e.task(cost, func() {
-		root, err := htmlparse.Parse(r.Body)
-		if err != nil {
+		// The parsed tree and its element list come from the process-wide
+		// artifact cache: every scheme and round loading this document
+		// shares one immutable DOM. The parse cost above is modelled from
+		// the byte length either way.
+		root, nodes, ok := cachedHTML(r.Body)
+		if !ok {
 			// Treat unparseable HTML like an empty page (browser resilience).
 			e.finish(blocking)
 			return
@@ -361,12 +364,8 @@ func (e *Engine) processHTML(r Result, blocking bool, depth int) {
 		}
 		w := &docWalker{
 			e: e, baseURL: r.URL, blocking: blocking, depth: depth,
+			nodes: nodes,
 		}
-		htmlparse.Walk(root, func(n *htmlparse.Node) {
-			if n.Tag != "" {
-				w.nodes = append(w.nodes, n)
-			}
-		})
 		// The walk inherits this document's pending unit and finishes it.
 		w.resume()
 	})
@@ -406,7 +405,7 @@ func (w *docWalker) resume() {
 				}
 			}
 		case "style":
-			for _, u := range cssparse.AssetURLs(n.Text, w.baseURL) {
+			for _, u := range cachedAssetURLs(n.Text, w.baseURL) {
 				e.requestObject(u, w.blocking, w.depth+1)
 			}
 		case "script":
@@ -440,7 +439,7 @@ func (w *docWalker) awaitScript(url string) {
 	e := w.e
 	onArrive := func(r Result) {
 		if r.Status < 400 && strings.Contains(r.ContentType, "javascript") {
-			e.execScriptThen(string(r.Body), r.URL, w.blocking, w.depth, w.resume)
+			e.execScriptBytesThen(r.Body, r.URL, w.blocking, w.depth, w.resume)
 			return
 		}
 		w.resume()
@@ -461,7 +460,7 @@ func (e *Engine) processCSS(r Result, blocking bool, depth int) {
 	cost := perKB(e.opt.CPU.CSSParsePerKB, len(r.Body))
 	e.task(cost, func() {
 		if depth < e.opt.MaxDepth {
-			for _, ref := range cssparse.Refs(string(r.Body), r.URL) {
+			for _, ref := range cachedCSSRefs(r.Body, r.URL) {
 				e.requestObject(ref.URL, blocking, depth+1)
 			}
 		}
@@ -483,7 +482,7 @@ func (e *Engine) discoverFromTree(root *htmlparse.Node, baseURL string, blocking
 		e.requestObject(res.URL, b, depth+1)
 	}
 	for _, css := range htmlparse.InlineStyles(root) {
-		for _, u := range cssparse.AssetURLs(css, baseURL) {
+		for _, u := range cachedAssetURLs(css, baseURL) {
 			e.requestObject(u, blocking, depth+1)
 		}
 	}
@@ -507,13 +506,27 @@ func (e *Engine) execScript(src, baseURL string, blocking bool, depth int) {
 }
 
 // execScriptThen is execScript with a continuation invoked after the
-// script's effects apply (the parser-blocking resume point).
+// script's effects apply (the parser-blocking resume point). Scripts go
+// through the memoized minijs.Compile, so a body executed by any engine in
+// the process — proxy and client in one PARCEL load, every scheme and
+// round in a sweep — is lexed, parsed, and slot-resolved exactly once.
 func (e *Engine) execScriptThen(src, baseURL string, blocking bool, depth int, then func()) {
+	prog, err := minijs.Compile(src)
+	e.execCompiledThen(prog, err, baseURL, blocking, depth, then)
+}
+
+// execScriptBytesThen is execScriptThen for bodies still held as []byte; on
+// a program-cache hit it skips the string conversion entirely.
+func (e *Engine) execScriptBytesThen(src []byte, baseURL string, blocking bool, depth int, then func()) {
+	prog, err := minijs.CompileBytes(src)
+	e.execCompiledThen(prog, err, baseURL, blocking, depth, then)
+}
+
+func (e *Engine) execCompiledThen(prog *minijs.Program, err error, baseURL string, blocking bool, depth int, then func()) {
 	e.pendingTotal++ // execution itself defers completion
 	if blocking {
 		e.pendingBlocking++
 	}
-	prog, err := minijs.Parse(src)
 	if err != nil {
 		e.JSErrors = append(e.JSErrors, fmt.Errorf("parse %s: %w", baseURL, err))
 		e.finish(blocking)

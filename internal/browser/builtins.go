@@ -92,8 +92,8 @@ func (e *Engine) bindBuiltins() {
 			html := args[0].Str()
 			ctx := *e.curCtx
 			e.addEffect(func() {
-				root, err := htmlparse.Parse([]byte(html))
-				if err != nil {
+				root, ok := cachedHTMLString(html)
+				if !ok {
 					return
 				}
 				e.discoverFromTree(root, ctx.baseURL, ctx.blocking, ctx.depth+1)

@@ -1,0 +1,283 @@
+package minijs
+
+import "sync"
+
+// This file is the compile phase of the "compile once, run many" pipeline.
+// After parsing, every identifier is resolved to a (hops, slot) index into
+// flat []Value frames, so the interpreter never walks map[string]Value
+// chains at runtime. Resolution is a pure function of the AST and runs
+// exactly once per source string (Parse always resolves; Compile memoizes
+// whole programs), after which a Program is immutable and safe to share
+// across goroutines — the experiment runner's worker pool executes the same
+// compiled scripts concurrently on independent Interps.
+//
+// The resolved form must be *observationally identical* to the reference
+// map-chain interpreter (kept in reference_test.go and enforced by
+// FuzzMinijs), which pins down three subtleties:
+//
+//   - A scope is materialized exactly where the reference allocates an env
+//     the program can observe: a function call's param scope, a block with
+//     at least one top-level var declaration (fresh per loop iteration, so
+//     per-iteration closure capture still works), and a for-init scope when
+//     the init is a var declaration. (The reference also allocates an empty
+//     env for assignment/expression inits; no name can ever resolve into
+//     it, so it is not materialized here.)
+//
+//   - The reference decides visibility by runtime map membership: a var is
+//     invisible until its declaration executes. Slots therefore start as an
+//     unset sentinel, and each identifier carries the ordered list of
+//     *candidate* bindings in enclosing scopes; at runtime the innermost
+//     initialized candidate wins, falling back to the dynamic global map
+//     (builtins, top-level vars, implicit globals) by name.
+//
+//   - Frames are recycled through free lists (see interp.go), which is only
+//     sound for scopes no closure can capture. Evaluating a function
+//     literal captures the whole live chain, so resolution marks every
+//     enclosing scope as escaping; escaping frames are heap-allocated and
+//     never pooled.
+
+// scopeInfo is the compiled description of one materialized lexical scope.
+type scopeInfo struct {
+	// names maps slot index -> variable name (params first for function
+	// scopes, then top-level var declarations; duplicates collapse onto one
+	// slot, like duplicate map keys did).
+	names []string
+	// paramSlots maps param index -> slot for function scopes, so duplicate
+	// parameter names write the same slot in order (last argument wins,
+	// matching map insertion).
+	paramSlots []int
+	// escapes marks scopes a function literal is created under: their
+	// frames may outlive the scope's execution and are never recycled.
+	escapes bool
+}
+
+func (sc *scopeInfo) slotOf(name string) int {
+	for i, n := range sc.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// slotRef is one candidate binding for an identifier: slot `slot` of the
+// frame `hops` levels up the chain from the identifier's position.
+type slotRef struct {
+	hops int
+	slot int
+}
+
+// resolveProgram annotates the AST in place. It runs inside Parse, so every
+// Program the package hands out is resolved before it can be shared.
+func resolveProgram(p *Program) {
+	r := resolver{}
+	r.stmts(p.Stmts)
+}
+
+// resolver tracks the compile-time chain of materialized scopes; the global
+// scope is not represented (it stays a dynamic map at runtime).
+type resolver struct {
+	stack []*scopeInfo
+}
+
+func (r *resolver) enter(sc *scopeInfo) { r.stack = append(r.stack, sc) }
+func (r *resolver) exit()               { r.stack = r.stack[:len(r.stack)-1] }
+
+// candidates collects every enclosing scope declaring name, innermost
+// first. The runtime walks them in order and takes the first whose slot has
+// been initialized, which reproduces the reference interpreter's
+// map-membership walk exactly.
+func (r *resolver) candidates(name string) []slotRef {
+	var cands []slotRef
+	for i := len(r.stack) - 1; i >= 0; i-- {
+		if slot := r.stack[i].slotOf(name); slot >= 0 {
+			cands = append(cands, slotRef{hops: len(r.stack) - 1 - i, slot: slot})
+		}
+	}
+	return cands
+}
+
+// blockInfo mirrors blockScope in the reference interpreter: a block gets a
+// scope (and therefore a frame) iff it declares at least one variable at
+// its top level.
+func blockInfo(stmts []Stmt) *scopeInfo {
+	var sc *scopeInfo
+	for _, s := range stmts {
+		if v, ok := s.(*VarStmt); ok {
+			if sc == nil {
+				sc = &scopeInfo{}
+			}
+			if sc.slotOf(v.Name) < 0 {
+				sc.names = append(sc.names, v.Name)
+			}
+		}
+	}
+	return sc
+}
+
+// funcScope lays out a function's param scope: parameters first (duplicates
+// collapsing onto the earlier slot, later writes winning), then the body's
+// top-level var declarations, which the reference wrote into the same env.
+func funcScope(params []string, body []Stmt) *scopeInfo {
+	sc := &scopeInfo{paramSlots: make([]int, len(params))}
+	for i, p := range params {
+		if slot := sc.slotOf(p); slot >= 0 {
+			sc.paramSlots[i] = slot
+			continue
+		}
+		sc.paramSlots[i] = len(sc.names)
+		sc.names = append(sc.names, p)
+	}
+	for _, s := range body {
+		if v, ok := s.(*VarStmt); ok && sc.slotOf(v.Name) < 0 {
+			sc.names = append(sc.names, v.Name)
+		}
+	}
+	return sc
+}
+
+func (r *resolver) stmts(ss []Stmt) {
+	for _, s := range ss {
+		r.stmt(s)
+	}
+}
+
+func (r *resolver) block(ss []Stmt, sc *scopeInfo) {
+	if sc == nil {
+		r.stmts(ss)
+		return
+	}
+	r.enter(sc)
+	r.stmts(ss)
+	r.exit()
+}
+
+func (r *resolver) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *VarStmt:
+		if s.Init != nil {
+			r.expr(s.Init)
+		}
+		s.slot = -1
+		if n := len(r.stack); n > 0 {
+			s.slot = r.stack[n-1].slotOf(s.Name)
+		}
+	case *AssignStmt:
+		r.expr(s.X)
+		s.cands = r.candidates(s.Name)
+	case *ExprStmt:
+		r.expr(s.X)
+	case *IfStmt:
+		r.expr(s.Cond)
+		s.thenScope = blockInfo(s.Then)
+		r.block(s.Then, s.thenScope)
+		s.elseScope = blockInfo(s.Else)
+		r.block(s.Else, s.elseScope)
+	case *WhileStmt:
+		r.expr(s.Cond)
+		s.bodyScope = blockInfo(s.Body)
+		r.block(s.Body, s.bodyScope)
+	case *ForStmt:
+		if v, ok := s.Init.(*VarStmt); ok {
+			s.initScope = &scopeInfo{names: []string{v.Name}}
+			r.enter(s.initScope)
+		}
+		if s.Init != nil {
+			r.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			r.expr(s.Cond)
+		}
+		if s.Post != nil {
+			r.stmt(s.Post)
+		}
+		s.bodyScope = blockInfo(s.Body)
+		r.block(s.Body, s.bodyScope)
+		if s.initScope != nil {
+			r.exit()
+		}
+	case *ReturnStmt:
+		if s.X != nil {
+			r.expr(s.X)
+		}
+	}
+}
+
+func (r *resolver) expr(x Expr) {
+	switch x := x.(type) {
+	case *Lit:
+	case *Ident:
+		x.cands = r.candidates(x.Name)
+	case *Member:
+		r.expr(x.X)
+	case *Call:
+		r.expr(x.Fn)
+		for _, a := range x.Args {
+			r.expr(a)
+		}
+	case *Binary:
+		r.expr(x.L)
+		r.expr(x.R)
+	case *Unary:
+		r.expr(x.X)
+	case *FuncLit:
+		// Evaluating the literal captures the live chain: every enclosing
+		// frame may now outlive its scope.
+		for _, sc := range r.stack {
+			sc.escapes = true
+		}
+		x.fnScope = funcScope(x.Params, x.Body)
+		r.enter(x.fnScope)
+		r.stmts(x.Body)
+		r.exit()
+	}
+}
+
+// maxProgCache bounds the program cache. When full it is cleared outright
+// (an epoch clear): compiled programs are pure functions of their source,
+// so eviction can only cost a recompile, never change a result.
+const maxProgCache = 4096
+
+var progCache = struct {
+	mu sync.RWMutex
+	m  map[string]*Program
+}{m: make(map[string]*Program, 64)}
+
+// Compile parses and resolves src, memoizing the result by source string.
+// Compiled programs are immutable; concurrent callers — the experiment
+// runner's workers, the proxy and client engines of one page load, every
+// scheme loading the same webgen page — share one *Program. Parse failures
+// are not cached (they are rare and deterministic).
+func Compile(src string) (*Program, error) {
+	progCache.mu.RLock()
+	p := progCache.m[src]
+	progCache.mu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	progCache.mu.Lock()
+	if len(progCache.m) >= maxProgCache {
+		progCache.m = make(map[string]*Program, 64)
+	}
+	progCache.m[src] = p
+	progCache.mu.Unlock()
+	return p, nil
+}
+
+// CompileBytes is Compile for byte slices. The cache hit path does not
+// allocate: the map lookup uses Go's byte-slice-keyed string indexing, so a
+// script body fetched as []byte costs a string conversion only on its first
+// compile anywhere in the process.
+func CompileBytes(src []byte) (*Program, error) {
+	progCache.mu.RLock()
+	p := progCache.m[string(src)]
+	progCache.mu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	return Compile(string(src))
+}

@@ -28,6 +28,11 @@ const (
 	kindClosure
 	kindNative
 	kindNamespace
+	// kindUnset marks a declared-but-not-yet-initialized frame slot. It
+	// never escapes the interpreter: lookups and assignments skip unset
+	// slots, reproducing the visibility rules of the runtime map-membership
+	// walk this representation replaced.
+	kindUnset
 )
 
 // Null returns the null value.
@@ -128,44 +133,48 @@ func (v Value) Equals(o Value) bool {
 // Native is a host-provided builtin.
 type Native func(args []Value) (Value, error)
 
-// Closure is a user function with its captured environment.
+// Closure is a user function with its captured environment: the compiled
+// scope layout of its body plus the frame chain live at creation.
 type Closure struct {
 	Params []string
 	Body   []Stmt
-	env    *env
+	scope  *scopeInfo
+	frame  *frame
 }
 
-type env struct {
-	vars   map[string]Value
-	parent *env
+// frame is one materialized lexical scope: a flat slot array laid out at
+// compile time. parent links toward the global scope (nil past the
+// outermost frame); the Interp's globals map is the implicit chain root.
+type frame struct {
+	slots  []Value
+	parent *frame
+	pooled bool // on a free list; double-release check under -tags simdebug
 }
 
-func (e *env) lookup(name string) (Value, bool) {
-	for s := e; s != nil; s = s.parent {
-		if v, ok := s.vars[name]; ok {
-			return v, true
-		}
-	}
-	return Value{}, false
-}
+// maxPooledSlots caps the frame sizes kept on free lists. Generated pages
+// declare a handful of variables per scope, so every hot frame is pooled;
+// pathological fuzz inputs with huge scopes just fall back to the heap.
+const maxPooledSlots = 16
 
-func (e *env) assign(name string, v Value) bool {
-	for s := e; s != nil; s = s.parent {
-		if _, ok := s.vars[name]; ok {
-			s.vars[name] = v
-			return true
-		}
-	}
-	return false
-}
+// maxCallDepth bounds minijs-level call recursion so deeply recursive
+// scripts fail with a script error instead of exhausting the Go stack. The
+// reference interpreter in the test suite applies the identical bound.
+const maxCallDepth = 2000
 
 // Interp executes programs against host-bound builtins. One Interp holds the
 // global scope of one page's scripting context; every script and handler of
 // the page runs in it.
 type Interp struct {
-	globals *env
+	globals map[string]Value
 	ops     int
 	maxOps  int
+	depth   int // live CallClosure nesting
+
+	// framePool recycles non-escaping frames by slot count; argFree
+	// recycles call-argument slices. Both follow the simnet/trace free-list
+	// pattern: owner-checked under -tags simdebug, invisible otherwise.
+	framePool [maxPooledSlots + 1][]*frame
+	argFree   [][]Value
 }
 
 // DefaultMaxOps bounds total statements+expressions evaluated per Interp,
@@ -174,14 +183,21 @@ const DefaultMaxOps = 5_000_000
 
 // New creates an interpreter with an empty global scope.
 func New() *Interp {
-	return &Interp{globals: &env{vars: make(map[string]Value)}, maxOps: DefaultMaxOps}
+	return &Interp{globals: make(map[string]Value, 16), maxOps: DefaultMaxOps}
 }
 
 // Bind installs a global builtin or value.
-func (in *Interp) Bind(name string, v Value) { in.globals.vars[name] = v }
+func (in *Interp) Bind(name string, v Value) { in.globals[name] = v }
 
 // BindNative installs a global native function.
 func (in *Interp) BindNative(name string, f Native) { in.Bind(name, NativeValue(f)) }
+
+// Global returns the value bound to name in the global scope (top-level
+// vars, builtins, and implicit globals all live there).
+func (in *Interp) Global(name string) (Value, bool) {
+	v, ok := in.globals[name]
+	return v, ok
+}
 
 // Ops returns the cumulative count of evaluation steps, the interpreter's
 // CPU-cost proxy: the browser engine converts it to device CPU time.
@@ -197,7 +213,7 @@ func (errReturn) Error() string { return "return outside function" }
 
 // Run executes a program in the global scope.
 func (in *Interp) Run(p *Program) error {
-	err := in.execBlock(p.Stmts, in.globals)
+	err := in.execBlock(p.Stmts, nil)
 	if r, ok := err.(errReturn); ok {
 		_ = r
 		return nil // top-level return is tolerated
@@ -210,15 +226,26 @@ func (in *Interp) CallClosure(c *Closure, args ...Value) (Value, error) {
 	if c == nil {
 		return Null(), fmt.Errorf("minijs: call of null closure")
 	}
-	scope := &env{vars: make(map[string]Value, len(c.Params)), parent: c.env}
-	for i, p := range c.Params {
+	if c.scope == nil {
+		return Null(), fmt.Errorf("minijs: call of unresolved closure")
+	}
+	if in.depth >= maxCallDepth {
+		return Null(), fmt.Errorf("minijs: call depth exceeded (%d)", maxCallDepth)
+	}
+	in.depth++
+	sc := c.scope
+	f := in.newFrame(sc, c.frame)
+	for i := range c.Params {
+		slot := sc.paramSlots[i]
 		if i < len(args) {
-			scope.vars[p] = args[i]
+			f.slots[slot] = args[i]
 		} else {
-			scope.vars[p] = Null()
+			f.slots[slot] = Null()
 		}
 	}
-	err := in.execBlock(c.Body, scope)
+	err := in.execBlock(c.Body, f)
+	in.freeFrame(f, sc)
+	in.depth--
 	if r, ok := err.(errReturn); ok {
 		return r.v, nil
 	}
@@ -233,37 +260,136 @@ func (in *Interp) step() error {
 	return nil
 }
 
-// blockScope returns the environment a block should execute in: a fresh
-// child scope when the block declares variables at its top level, otherwise
-// the enclosing scope itself. Only VarStmt ever writes directly into a
-// block's scope (assignments walk the chain and fall back to globals), so a
-// declaration-free block is observationally identical either way — and loop
-// bodies, which execute their block once per iteration, skip an env+map
-// allocation per pass. This was the single largest allocation source in a
-// page-load profile.
-func blockScope(stmts []Stmt, e *env) *env {
-	n := 0
-	for _, s := range stmts {
-		if _, ok := s.(*VarStmt); ok {
-			n++
+// newFrame materializes a scope, recycling a pooled frame of the right size
+// when one is free. Pooled frames come back with every slot already reset
+// to the unset sentinel.
+func (in *Interp) newFrame(sc *scopeInfo, parent *frame) *frame {
+	n := len(sc.names)
+	if n <= maxPooledSlots {
+		if l := in.framePool[n]; len(l) > 0 {
+			f := l[len(l)-1]
+			in.framePool[n] = l[:len(l)-1]
+			f.pooled = false
+			f.parent = parent
+			return f
 		}
 	}
-	if n == 0 {
-		return e
+	f := &frame{slots: make([]Value, n), parent: parent}
+	for i := range f.slots {
+		f.slots[i] = Value{kind: kindUnset}
 	}
-	return &env{vars: make(map[string]Value, n), parent: e}
+	return f
 }
 
-func (in *Interp) execBlock(stmts []Stmt, e *env) error {
+// freeFrame recycles a frame on scope exit — including error unwinding —
+// unless the scope escapes: a scope under which a function literal was
+// evaluated may be captured by a closure that outlives it, so it is left to
+// the garbage collector. Slots are reset to the unset sentinel on release
+// so pooled frames neither pin values alive nor leak stale bindings.
+func (in *Interp) freeFrame(f *frame, sc *scopeInfo) {
+	if sc.escapes {
+		return
+	}
+	checkFrameFree(f)
+	n := len(f.slots)
+	if n > maxPooledSlots {
+		return
+	}
+	f.pooled = true
+	f.parent = nil
+	for i := range f.slots {
+		f.slots[i] = Value{kind: kindUnset}
+	}
+	in.framePool[n] = append(in.framePool[n], f)
+}
+
+// getArgs pops a call-argument slice off the free list (or allocates one).
+func (in *Interp) getArgs(n int) []Value {
+	if n == 0 {
+		return nil
+	}
+	if l := len(in.argFree); l > 0 {
+		if s := in.argFree[l-1]; cap(s) >= n {
+			in.argFree = in.argFree[:l-1]
+			return s[:n]
+		}
+	}
+	if n < 4 {
+		return make([]Value, n, 4)
+	}
+	return make([]Value, n)
+}
+
+// putArgs returns a call's argument slice to the free list. Natives must
+// not retain the slice past their return — they copy values (or Closure
+// pointers) out instead, which every engine builtin does.
+func (in *Interp) putArgs(s []Value) {
+	if cap(s) == 0 {
+		return
+	}
+	for i := range s {
+		s[i] = Value{}
+	}
+	in.argFree = append(in.argFree, s[:0])
+}
+
+// lookup resolves an identifier through its compiled candidate bindings:
+// the innermost candidate whose slot has been initialized wins (a var whose
+// declaration has not executed yet is invisible), with the dynamic global
+// map as the final fallback.
+func (in *Interp) lookup(x *Ident, f *frame) (Value, bool) {
+	for _, c := range x.cands {
+		fr := f
+		for h := c.hops; h > 0; h-- {
+			fr = fr.parent
+		}
+		if v := fr.slots[c.slot]; v.kind != kindUnset {
+			return v, true
+		}
+	}
+	v, ok := in.globals[x.Name]
+	return v, ok
+}
+
+// assign writes through the same candidate walk as lookup, falling back to
+// an implicit global (sloppy-mode JS) when no initialized binding exists.
+func (in *Interp) assign(cands []slotRef, name string, v Value, f *frame) {
+	for _, c := range cands {
+		fr := f
+		for h := c.hops; h > 0; h-- {
+			fr = fr.parent
+		}
+		if fr.slots[c.slot].kind != kindUnset {
+			fr.slots[c.slot] = v
+			return
+		}
+	}
+	in.globals[name] = v
+}
+
+func (in *Interp) execBlock(stmts []Stmt, f *frame) error {
 	for _, s := range stmts {
-		if err := in.exec(s, e); err != nil {
+		if err := in.exec(s, f); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (in *Interp) exec(s Stmt, e *env) error {
+// execScope runs a block in a fresh frame when the block declares variables
+// (sc != nil) — fresh per entry, so loop iterations get independent
+// bindings — and directly in the enclosing frame otherwise.
+func (in *Interp) execScope(stmts []Stmt, sc *scopeInfo, f *frame) error {
+	if sc == nil {
+		return in.execBlock(stmts, f)
+	}
+	nf := in.newFrame(sc, f)
+	err := in.execBlock(stmts, nf)
+	in.freeFrame(nf, sc)
+	return err
+}
+
+func (in *Interp) exec(s Stmt, f *frame) error {
 	if err := in.step(); err != nil {
 		return err
 	}
@@ -272,45 +398,46 @@ func (in *Interp) exec(s Stmt, e *env) error {
 		v := Null()
 		if s.Init != nil {
 			var err error
-			v, err = in.eval(s.Init, e)
+			v, err = in.eval(s.Init, f)
 			if err != nil {
 				return err
 			}
 		}
-		e.vars[s.Name] = v
+		if s.slot >= 0 {
+			f.slots[s.slot] = v
+		} else {
+			in.globals[s.Name] = v
+		}
 		return nil
 	case *AssignStmt:
-		v, err := in.eval(s.X, e)
+		v, err := in.eval(s.X, f)
 		if err != nil {
 			return err
 		}
-		if !e.assign(s.Name, v) {
-			// Implicit global, like sloppy-mode JS.
-			in.globals.vars[s.Name] = v
-		}
+		in.assign(s.cands, s.Name, v, f)
 		return nil
 	case *ExprStmt:
-		_, err := in.eval(s.X, e)
+		_, err := in.eval(s.X, f)
 		return err
 	case *IfStmt:
-		cond, err := in.eval(s.Cond, e)
+		cond, err := in.eval(s.Cond, f)
 		if err != nil {
 			return err
 		}
 		if cond.Truthy() {
-			return in.execBlock(s.Then, blockScope(s.Then, e))
+			return in.execScope(s.Then, s.thenScope, f)
 		}
-		return in.execBlock(s.Else, blockScope(s.Else, e))
+		return in.execScope(s.Else, s.elseScope, f)
 	case *WhileStmt:
 		for {
-			cond, err := in.eval(s.Cond, e)
+			cond, err := in.eval(s.Cond, f)
 			if err != nil {
 				return err
 			}
 			if !cond.Truthy() {
 				return nil
 			}
-			if err := in.execBlock(s.Body, blockScope(s.Body, e)); err != nil {
+			if err := in.execScope(s.Body, s.bodyScope, f); err != nil {
 				return err
 			}
 			if err := in.step(); err != nil {
@@ -318,42 +445,22 @@ func (in *Interp) exec(s Stmt, e *env) error {
 			}
 		}
 	case *ForStmt:
-		scope := e
-		if s.Init != nil {
-			// The induction variable needs its own scope; condition-only
-			// loops can evaluate against the enclosing one.
-			scope = &env{vars: make(map[string]Value, 1), parent: e}
-			if err := in.exec(s.Init, scope); err != nil {
-				return err
-			}
+		scope := f
+		if s.initScope != nil {
+			// The induction variable gets its own frame; its lifetime spans
+			// every iteration, so it is released only when the loop exits.
+			scope = in.newFrame(s.initScope, f)
 		}
-		for {
-			if s.Cond != nil {
-				cond, err := in.eval(s.Cond, scope)
-				if err != nil {
-					return err
-				}
-				if !cond.Truthy() {
-					return nil
-				}
-			}
-			if err := in.execBlock(s.Body, blockScope(s.Body, scope)); err != nil {
-				return err
-			}
-			if s.Post != nil {
-				if err := in.exec(s.Post, scope); err != nil {
-					return err
-				}
-			}
-			if err := in.step(); err != nil {
-				return err
-			}
+		err := in.runFor(s, scope)
+		if s.initScope != nil {
+			in.freeFrame(scope, s.initScope)
 		}
+		return err
 	case *ReturnStmt:
 		v := Null()
 		if s.X != nil {
 			var err error
-			v, err = in.eval(s.X, e)
+			v, err = in.eval(s.X, f)
 			if err != nil {
 				return err
 			}
@@ -364,7 +471,37 @@ func (in *Interp) exec(s Stmt, e *env) error {
 	}
 }
 
-func (in *Interp) eval(x Expr, e *env) (Value, error) {
+func (in *Interp) runFor(s *ForStmt, scope *frame) error {
+	if s.Init != nil {
+		if err := in.exec(s.Init, scope); err != nil {
+			return err
+		}
+	}
+	for {
+		if s.Cond != nil {
+			cond, err := in.eval(s.Cond, scope)
+			if err != nil {
+				return err
+			}
+			if !cond.Truthy() {
+				return nil
+			}
+		}
+		if err := in.execScope(s.Body, s.bodyScope, scope); err != nil {
+			return err
+		}
+		if s.Post != nil {
+			if err := in.exec(s.Post, scope); err != nil {
+				return err
+			}
+		}
+		if err := in.step(); err != nil {
+			return err
+		}
+	}
+}
+
+func (in *Interp) eval(x Expr, f *frame) (Value, error) {
 	if err := in.step(); err != nil {
 		return Null(), err
 	}
@@ -372,12 +509,12 @@ func (in *Interp) eval(x Expr, e *env) (Value, error) {
 	case *Lit:
 		return x.Val, nil
 	case *Ident:
-		if v, ok := e.lookup(x.Name); ok {
+		if v, ok := in.lookup(x, f); ok {
 			return v, nil
 		}
 		return Null(), fmt.Errorf("minijs: undefined variable %q", x.Name)
 	case *Member:
-		base, err := in.eval(x.X, e)
+		base, err := in.eval(x.X, f)
 		if err != nil {
 			return Null(), err
 		}
@@ -390,9 +527,9 @@ func (in *Interp) eval(x Expr, e *env) (Value, error) {
 		}
 		return v, nil
 	case *FuncLit:
-		return Value{kind: kindClosure, fn: &Closure{Params: x.Params, Body: x.Body, env: e}}, nil
+		return Value{kind: kindClosure, fn: &Closure{Params: x.Params, Body: x.Body, scope: x.fnScope, frame: f}}, nil
 	case *Unary:
-		v, err := in.eval(x.X, e)
+		v, err := in.eval(x.X, f)
 		if err != nil {
 			return Null(), err
 		}
@@ -404,36 +541,41 @@ func (in *Interp) eval(x Expr, e *env) (Value, error) {
 		}
 		return Null(), fmt.Errorf("minijs: unknown unary op %q", x.Op)
 	case *Binary:
-		return in.evalBinary(x, e)
+		return in.evalBinary(x, f)
 	case *Call:
-		fnv, err := in.eval(x.Fn, e)
+		fnv, err := in.eval(x.Fn, f)
 		if err != nil {
 			return Null(), err
 		}
-		args := make([]Value, len(x.Args))
+		args := in.getArgs(len(x.Args))
 		for i, a := range x.Args {
-			args[i], err = in.eval(a, e)
+			args[i], err = in.eval(a, f)
 			if err != nil {
+				in.putArgs(args)
 				return Null(), err
 			}
 		}
+		var v Value
 		switch fnv.kind {
 		case kindNative:
-			return fnv.nat(args)
+			v, err = fnv.nat(args)
 		case kindClosure:
-			return in.CallClosure(fnv.fn, args...)
+			v, err = in.CallClosure(fnv.fn, args...)
 		default:
+			in.putArgs(args)
 			return Null(), fmt.Errorf("minijs: call of non-function")
 		}
+		in.putArgs(args)
+		return v, err
 	default:
 		return Null(), fmt.Errorf("minijs: unknown expression %T", x)
 	}
 }
 
-func (in *Interp) evalBinary(x *Binary, e *env) (Value, error) {
+func (in *Interp) evalBinary(x *Binary, f *frame) (Value, error) {
 	// Short-circuit operators.
 	if x.Op == "&&" || x.Op == "||" {
-		l, err := in.eval(x.L, e)
+		l, err := in.eval(x.L, f)
 		if err != nil {
 			return Null(), err
 		}
@@ -443,13 +585,13 @@ func (in *Interp) evalBinary(x *Binary, e *env) (Value, error) {
 		if x.Op == "||" && l.Truthy() {
 			return l, nil
 		}
-		return in.eval(x.R, e)
+		return in.eval(x.R, f)
 	}
-	l, err := in.eval(x.L, e)
+	l, err := in.eval(x.L, f)
 	if err != nil {
 		return Null(), err
 	}
-	r, err := in.eval(x.R, e)
+	r, err := in.eval(x.R, f)
 	if err != nil {
 		return Null(), err
 	}

@@ -21,6 +21,7 @@ package minijs
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -128,8 +129,12 @@ func (l *lexer) lexNumber() {
 		l.pos++
 	}
 	text := l.src[start:l.pos]
-	var n float64
-	fmt.Sscanf(text, "%g", &n)
+	// ParseFloat instead of Sscanf: no reflection, no scan-state allocation.
+	// Malformed digit runs (e.g. "1.2.3") lex as 0.
+	n, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		n = 0
+	}
 	l.toks = append(l.toks, token{kind: tokNumber, text: text, num: n, pos: start})
 }
 

@@ -116,7 +116,7 @@ onEvent("click", function() { clicks = clicks + 1; emit("clicked " + clicks); })
 			t.Fatal(err)
 		}
 	}
-	v, ok := in.globals.lookup("clicks")
+	v, ok := in.Global("clicks")
 	if !ok || v.Num() != 3 {
 		t.Fatalf("clicks = %v", v)
 	}
@@ -252,7 +252,7 @@ emit("real");
 
 func TestImplicitGlobalAssignment(t *testing.T) {
 	in := run(t, `var f = function() { g = 42; }; f();`, nil)
-	v, ok := in.globals.lookup("g")
+	v, ok := in.Global("g")
 	if !ok || v.Num() != 42 {
 		t.Fatalf("g = %v, ok=%v", v, ok)
 	}
@@ -308,6 +308,57 @@ func TestStringEscapes(t *testing.T) {
 		map[string]Native{"emit": collectCalls(&calls)})
 	if calls[0] != "a\"b|c'd|tab\there" {
 		t.Fatalf("calls = %v", calls)
+	}
+}
+
+// benchScript exercises the paths a generated page script hits: loops over
+// pooled block frames, closure calls, string building, and builtin calls.
+const benchScript = `
+var base = "http://cdn.example.com/asset";
+var mk = function(i) { return base + "/" + i + ".png"; };
+var total = 0;
+for (var i = 0; i < 50; i = i + 1) {
+  var u = mk(i);
+  emit(u);
+  total = total + i;
+}
+emit(total);
+`
+
+// BenchmarkMinijsExec measures steady-state execution on a reused
+// interpreter: the program is compiled once and every frame the run needs
+// comes from the free lists, so the remaining allocations are only the
+// strings the script itself builds.
+func BenchmarkMinijsExec(b *testing.B) {
+	prog, err := Compile(benchScript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := New()
+	in.BindNative("emit", func([]Value) (Value, error) { return Null(), nil })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.ResetOps()
+		if err := in.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinijsCompileCached measures the program-cache hit path — what
+// every engine after the first pays for a script body it holds as bytes.
+func BenchmarkMinijsCompileCached(b *testing.B) {
+	src := []byte(benchScript)
+	if _, err := CompileBytes(src); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileBytes(src); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -21,12 +21,16 @@ type Program struct {
 type VarStmt struct {
 	Name string
 	Init Expr // may be nil
+
+	slot int // compiled: slot in the enclosing scope's frame, -1 = global
 }
 
 // AssignStmt assigns to an existing variable: name = x;
 type AssignStmt struct {
 	Name string
 	X    Expr
+
+	cands []slotRef // compiled: candidate bindings, innermost first
 }
 
 // ExprStmt evaluates an expression for side effects.
@@ -37,6 +41,8 @@ type IfStmt struct {
 	Cond Expr
 	Then []Stmt
 	Else []Stmt // may be nil
+
+	thenScope, elseScope *scopeInfo // compiled: nil when branch declares no vars
 }
 
 // ForStmt is for (init; cond; post) {body}.
@@ -45,12 +51,17 @@ type ForStmt struct {
 	Cond Expr // may be nil (infinite, bounded by op budget)
 	Post Stmt // may be nil
 	Body []Stmt
+
+	initScope *scopeInfo // compiled: non-nil iff Init is a var declaration
+	bodyScope *scopeInfo // compiled: nil when body declares no vars
 }
 
 // WhileStmt is while (cond) {body}.
 type WhileStmt struct {
 	Cond Expr
 	Body []Stmt
+
+	bodyScope *scopeInfo // compiled: nil when body declares no vars
 }
 
 // ReturnStmt returns from the enclosing function.
@@ -68,7 +79,11 @@ func (*ReturnStmt) stmtNode() {}
 type Lit struct{ Val Value }
 
 // Ident references a variable.
-type Ident struct{ Name string }
+type Ident struct {
+	Name string
+
+	cands []slotRef // compiled: candidate bindings, innermost first
+}
 
 // Member accesses X.Name (used for namespace builtins like document.write).
 type Member struct {
@@ -98,6 +113,8 @@ type Unary struct {
 type FuncLit struct {
 	Params []string
 	Body   []Stmt
+
+	fnScope *scopeInfo // compiled: param + body-var scope layout
 }
 
 func (*Lit) exprNode()     {}
@@ -123,7 +140,9 @@ func Parse(src string) (*Program, error) {
 		}
 		stmts = append(stmts, s)
 	}
-	return &Program{Stmts: stmts, Source: src}, nil
+	prog := &Program{Stmts: stmts, Source: src}
+	resolveProgram(prog)
+	return prog, nil
 }
 
 type parser struct {

@@ -1,0 +1,17 @@
+//go:build simdebug
+
+package minijs
+
+import "fmt"
+
+// With -tags simdebug every frame release checks the pooled flag, so
+// returning a frame to the free list twice — which would silently alias two
+// live scopes onto one slot array — panics at the offending call site. This
+// mirrors the simnet packet pool and eventsim owner checks: a contract that
+// is free in normal builds and loud in debug builds.
+
+func checkFrameFree(f *frame) {
+	if f.pooled {
+		panic(fmt.Sprintf("minijs: double free of frame (%d slots)", len(f.slots)))
+	}
+}

@@ -166,7 +166,7 @@ func (c *crawler) process(obj Object, blocking bool, depth int) {
 // execScript runs page JS under the crawler's interpreter; its fetch/timer
 // builtins feed discovery.
 func (c *crawler) execScript(src, baseURL string, blocking bool, depth int) {
-	prog, err := minijs.Parse(src)
+	prog, err := minijs.Compile(src)
 	if err != nil {
 		c.addError(fmt.Errorf("js parse %s: %w", baseURL, err))
 		return
@@ -259,7 +259,7 @@ func (c *crawler) bindBuiltins() {
 			}
 			for _, script := range htmlparse.InlineScripts(root) {
 				// Already under jsMu; run directly in the current context.
-				prog, perr := minijs.Parse(script)
+				prog, perr := minijs.Compile(script)
 				if perr != nil {
 					continue
 				}

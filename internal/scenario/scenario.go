@@ -10,6 +10,7 @@ package scenario
 import (
 	"time"
 
+	"github.com/parcel-go/parcel/internal/browser"
 	"github.com/parcel-go/parcel/internal/dnssim"
 	"github.com/parcel-go/parcel/internal/eventsim"
 	"github.com/parcel-go/parcel/internal/httpsim"
@@ -139,6 +140,14 @@ func Build(page webgen.Page, p Params) *Topology {
 	}
 
 	dnssim.NewServer(sim, dns, p.DNSServerTime)
+
+	// Pre-warm the process-wide artifact and program caches with the page's
+	// objects: every scheme and sweep round that loads this page then hits
+	// cached DOM trees, CSS ref lists, and compiled scripts instead of
+	// re-parsing identical bytes per engine.
+	for _, obj := range page.Objects {
+		browser.Prewarm(obj.URL, obj.ContentType, obj.Body)
+	}
 
 	return &Topology{
 		Params:         p,
