@@ -45,7 +45,7 @@ import (
 var allTargets = []string{
 	"fig3", "fig5", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig7c",
 	"fig8", "fig9", "fig10", "fig11", "model", "delay", "table1", "spdy",
-	"summary",
+	"summary", "losssweep",
 }
 
 func main() {
@@ -167,6 +167,8 @@ func render(w io.Writer, target string, cfg experiments.Config) {
 		spdy(w, cfg)
 	case "summary":
 		summary(w, cfg)
+	case "losssweep":
+		losssweep(w, cfg)
 	}
 }
 
@@ -547,6 +549,25 @@ func spdy(w io.Writer, cfg experiments.Config) {
 	}, "joules")
 	fmt.Fprintln(w, "expectation (§3/§4.3): SPDY transport improves on DIR, but client-side")
 	fmt.Fprintln(w, "discovery still bounds it — PARCEL retains its advantage")
+}
+
+func losssweep(w io.Writer, cfg experiments.Config) {
+	header(w, "Robustness: loss sweep across fault profiles, PARCEL vs DIR")
+	schemes := []experiments.Scheme{
+		experiments.DIRScheme,
+		experiments.ParcelScheme(sched.ConfigONLD),
+	}
+	points := experiments.LossSweep(cfg, nil, nil, schemes)
+	fmt.Fprintf(w, "%-8s %5s %-14s %8s %8s %8s %9s %7s %9s %6s\n",
+		"profile", "loss", "scheme", "OLT", "TLT", "energy", "dropped", "rexmit", "rexmitB", "fallbk")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%-8s %4.0f%% %-14s %7.2fs %7.2fs %7.2fJ %9d %7d %9d %6d\n",
+			pt.Profile, 100*pt.LossRate, pt.Scheme,
+			pt.MeanOLT.Seconds(), pt.MeanTLT.Seconds(), pt.MeanRadioJ,
+			pt.Dropped, pt.Retransmits, pt.RetransmitBytes, pt.Fallbacks)
+	}
+	fmt.Fprintln(w, "expectation: loss stretches both schemes; PARCEL's single connection and")
+	fmt.Fprintln(w, "server-side fetching keep its latency/energy growth below DIR's")
 }
 
 func summary(w io.Writer, cfg experiments.Config) {

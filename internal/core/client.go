@@ -198,7 +198,15 @@ func (c *Client) Collect() metrics.PageRun {
 	run.ConnsOpened = 1
 	run.ObjectsLoaded = c.Engine.NumRequested()
 	run.FallbackRequests = c.Fallbacks
+	fillFaultStats(&run, c.topo.Net.FaultStats())
 	return run
+}
+
+// fillFaultStats copies the network's injection counters into the run.
+func fillFaultStats(run *metrics.PageRun, st simnet.FaultStats) {
+	run.DroppedPackets = st.Dropped
+	run.Retransmits = st.Retransmits
+	run.RetransmitBytes = st.RetransmitBytes
 }
 
 // Run builds the proxy and client on a topology and measures one page load

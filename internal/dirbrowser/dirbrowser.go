@@ -119,6 +119,10 @@ func (b *Browser) Collect() metrics.PageRun {
 	run.HTTPRequests = b.Client.RequestsSent
 	run.ConnsOpened = b.Client.ConnsOpened
 	run.ObjectsLoaded = b.Engine.NumRequested()
+	st := b.topo.Net.FaultStats()
+	run.DroppedPackets = st.Dropped
+	run.Retransmits = st.Retransmits
+	run.RetransmitBytes = st.RetransmitBytes
 	return run
 }
 

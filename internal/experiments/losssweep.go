@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/parcel-go/parcel/internal/simnet"
+)
+
+// FaultProfile is a named loss shape for the robustness sweep. Base carries
+// everything but the headline loss rate: Gilbert–Elliott burst parameters,
+// outage windows, RTO tuning. At() stamps a concrete rate onto it.
+type FaultProfile struct {
+	Name string
+	Base simnet.FaultParams
+}
+
+// At returns the profile's fault parameters at the given loss rate. Burst
+// profiles (PBadGood set) scale their bad-state loss to 10× the base rate,
+// capped at 1 — the usual "rare but severe" burst shape.
+func (fp FaultProfile) At(rate float64) simnet.FaultParams {
+	f := fp.Base
+	f.LossRate = rate
+	if f.PBadGood > 0 {
+		bad := rate * 10
+		if bad > 1 {
+			bad = 1
+		}
+		f.LossRateBad = bad
+	}
+	return f
+}
+
+// DefaultFaultProfiles returns the sweep's standard shapes: uniform i.i.d.
+// loss, bursty Gilbert–Elliott loss, and uniform loss plus a mid-load outage.
+func DefaultFaultProfiles() []FaultProfile {
+	return []FaultProfile{
+		{Name: "uniform"},
+		{Name: "burst", Base: simnet.FaultParams{PGoodBad: 0.02, PBadGood: 0.3}},
+		{Name: "outage", Base: simnet.FaultParams{
+			Outages: []simnet.Outage{{Start: 300 * time.Millisecond, End: 800 * time.Millisecond}},
+		}},
+	}
+}
+
+// DefaultLossRates is the sweep's standard loss grid.
+var DefaultLossRates = []float64{0, 0.01, 0.05, 0.1}
+
+// LossPoint aggregates one (profile, rate, scheme) cell of the sweep over
+// the whole page set: mean of the per-page median-of-rounds KPIs, plus the
+// summed fault and recovery counters.
+type LossPoint struct {
+	Profile  string
+	LossRate float64
+	Scheme   string
+
+	MeanOLT    time.Duration
+	MeanTLT    time.Duration
+	MeanRadioJ float64
+
+	// Summed across pages (from the representative round of each cell).
+	Dropped         int
+	Retransmits     int
+	RetransmitBytes int64
+	Fallbacks       int
+}
+
+// LossSweep runs every scheme over the page set at every (profile, rate)
+// point and aggregates per cell. It inherits Sweep's determinism: the same
+// cfg.Seed gives bit-identical points at any parallelism level.
+func LossSweep(cfg Config, rates []float64, profiles []FaultProfile, schemes []Scheme) []LossPoint {
+	cfg = cfg.withDefaults()
+	if len(rates) == 0 {
+		rates = DefaultLossRates
+	}
+	if len(profiles) == 0 {
+		profiles = DefaultFaultProfiles()
+	}
+	var out []LossPoint
+	for _, fp := range profiles {
+		for _, rate := range rates {
+			c := cfg
+			c.Scenario.AccessFaults = fp.At(rate)
+			results := Sweep(c, schemes)
+			for _, s := range schemes {
+				pt := LossPoint{Profile: fp.Name, LossRate: rate, Scheme: s.Name}
+				var olt, tlt, radio float64
+				for _, pr := range results {
+					run := pr.Runs[s.Name]
+					olt += run.OLT.Seconds()
+					tlt += run.TLT.Seconds()
+					radio += run.RadioJ
+					pt.Dropped += run.DroppedPackets
+					pt.Retransmits += run.Retransmits
+					pt.RetransmitBytes += run.RetransmitBytes
+					pt.Fallbacks += run.FallbackRequests
+				}
+				n := float64(len(results))
+				pt.MeanOLT = time.Duration(olt / n * float64(time.Second))
+				pt.MeanTLT = time.Duration(tlt / n * float64(time.Second))
+				pt.MeanRadioJ = radio / n
+				out = append(out, pt)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Package leakcheck is a test helper that fails a test when it leaks
+// goroutines. The fault-injection suites use it to prove that torn-down
+// proxy sessions and degraded clients leave nothing running behind them.
+//
+// Usage:
+//
+//	defer leakcheck.Check(t)()
+//
+// Check snapshots the goroutines alive at the start of the test; the
+// returned function re-counts at the end, retrying for a grace window so
+// goroutines that are mid-exit (closed conn readers, draining HTTP
+// keep-alives) get a chance to finish before they are declared leaked.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// ignoredStacks marks goroutines outside the code under test's control:
+// runtime helpers and the test framework itself.
+var ignoredStacks = []string{
+	"testing.RunTests",
+	"testing.(*T).Run",
+	"testing.tRunner",
+	"runtime.goexit",
+	"runtime.MHeap_Scavenger",
+	"runtime/trace",
+	"signal.signal_recv",
+	"created by runtime.gc",
+	"leakcheck.interesting",
+	"os/signal.loop",
+	// net/http's global (per-Transport) idle-connection reaper is shared
+	// process state, not a per-test leak.
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*persistConn).writeLoop",
+	"net/http.setupRewindBody",
+}
+
+// interesting returns the stacks of goroutines that count toward a leak.
+func interesting() []string {
+	buf := make([]byte, 2<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var out []string
+stacks:
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" {
+			continue
+		}
+		for _, ig := range ignoredStacks {
+			if strings.Contains(g, ig) {
+				continue stacks
+			}
+		}
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// grace is how long the checker waits for in-flight goroutines to wind down.
+const grace = 5 * time.Second
+
+// Check snapshots the current goroutines and returns a function that fails t
+// if new ones are still alive after the grace window. Designed for
+// `defer leakcheck.Check(t)()`.
+func Check(t TB) func() {
+	before := interesting()
+	return func() {
+		t.Helper()
+		var leaked []string
+		deadline := time.Now().Add(grace)
+		for {
+			leaked = diff(before, interesting())
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// diff returns the stacks in after that were not present in before, compared
+// by creation site (the "created by" line) so the same goroutine observed at
+// two different program counters is not reported as new.
+func diff(before, after []string) []string {
+	seen := make(map[string]int, len(before))
+	for _, g := range before {
+		seen[site(g)]++
+	}
+	var out []string
+	for _, g := range after {
+		s := site(g)
+		if seen[s] > 0 {
+			seen[s]--
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// site extracts a goroutine's identity for diffing: its "created by" line,
+// falling back to the whole stack for main-like goroutines.
+func site(stack string) string {
+	if i := strings.Index(stack, "created by "); i >= 0 {
+		line := stack[i:]
+		if j := strings.IndexByte(line, '\n'); j >= 0 {
+			line = line[:j]
+		}
+		return line
+	}
+	// No creation site (e.g. the main goroutine): identify by first line
+	// minus the goroutine id.
+	if j := strings.IndexByte(stack, '\n'); j >= 0 {
+		first := stack[:j]
+		if k := strings.IndexByte(first, '['); k >= 0 {
+			return fmt.Sprintf("anon %s", first[k:])
+		}
+		return first
+	}
+	return stack
+}

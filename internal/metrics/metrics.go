@@ -41,6 +41,13 @@ type PageRun struct {
 
 	// BytesDown and BytesUp are wire bytes at the client.
 	BytesDown, BytesUp int64
+
+	// Fault-injection outcomes on the run's network (zero on clean runs):
+	// packets the loss model dropped, retransmissions it scheduled, and the
+	// wire bytes those retransmissions resent.
+	DroppedPackets  int
+	Retransmits     int
+	RetransmitBytes int64
 }
 
 // FromTrace fills the trace-derived fields of r: TLT from the last DATA

@@ -2,27 +2,76 @@
 // paper's testbed (§7.3): it wraps a net.Conn with one-way latency and a
 // bandwidth cap, so the real-network PARCEL mode can emulate a cellular
 // access link on loopback.
+//
+// Beyond shaping, the wrapper injects faults: seeded random loss (modelled
+// as TCP retransmission delay — the wrapped conn is a reliable stream, so a
+// "lost" chunk arrives late rather than never), a connection kill after a
+// byte budget, and a one-shot delivery stall. All fault knobs default to
+// zero, in which case behaviour is identical to the plain shaper.
 package netem
 
 import (
+	"errors"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 )
 
-// Params describes one direction of shaping.
+// ErrInjectedKill is the error delivered to readers when the connection was
+// torn down by the KillAfterBytes fault injector. Callers distinguish it from
+// organic peer failures in tests.
+var ErrInjectedKill = errors.New("netem: injected connection kill")
+
+// Params describes one direction of shaping and fault injection.
 type Params struct {
 	// Latency is added one-way delay per chunk.
 	Latency time.Duration
 	// Bps is the bandwidth cap in bytes/second (0 = unlimited).
 	Bps int64
+
+	// Loss is the per-chunk probability of a simulated loss. The underlying
+	// conn is a reliable byte stream, so loss surfaces as TCP would surface
+	// it: the chunk (and, via FIFO delivery, everything behind it) is
+	// delayed by LossRTO. 0 disables.
+	Loss float64
+	// LossRTO is the added delay per lost chunk (default 200 ms).
+	LossRTO time.Duration
+	// Seed seeds the loss draws so a fault profile replays identically
+	// (default 1).
+	Seed int64
+
+	// KillAfterBytes tears the connection down (ErrInjectedKill, underlying
+	// conn closed) once that many bytes have been queued for delivery —
+	// the "pusher dies mid-bundle" fault. 0 disables.
+	KillAfterBytes int64
+
+	// StallAfterBytes freezes delivery for StallFor once that many bytes
+	// have been queued — a one-shot dead-air window mid-transfer. 0 disables.
+	StallAfterBytes int64
+	// StallFor is the stall duration (default 1 s when a stall is armed).
+	StallFor time.Duration
 }
 
 // LTE returns a profile approximating the paper's LTE access: ~39 ms one-way
 // delay (78 ms RTT) and ≈6.75 Mbps.
 func LTE() Params {
 	return Params{Latency: 39 * time.Millisecond, Bps: 6_750_000 / 8}
+}
+
+func (p Params) lossRTO() time.Duration {
+	if p.LossRTO > 0 {
+		return p.LossRTO
+	}
+	return 200 * time.Millisecond
+}
+
+func (p Params) stallFor() time.Duration {
+	if p.StallFor > 0 {
+		return p.StallFor
+	}
+	return time.Second
 }
 
 // chunk is a timed unit of shaped data.
@@ -36,7 +85,8 @@ type chunk struct {
 // directions via two wrapped conns) for symmetric emulation.
 type Conn struct {
 	net.Conn
-	p Params
+	p   Params
+	rng *rand.Rand // loss draws; nil when Loss == 0
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -47,12 +97,31 @@ type Conn struct {
 
 	// busyUntil models serialization at the capped rate.
 	busyUntil time.Time
+
+	// fault bookkeeping (guarded by mu; written by the pump goroutine)
+	pumped  int64 // bytes queued so far
+	stalled bool  // one-shot stall already fired
+	lost    int   // chunks hit by the loss injector
+}
+
+// LostChunks reports how many chunks the loss injector hit so far.
+func (c *Conn) LostChunks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lost
 }
 
 // Wrap shapes reads from conn with p. It spawns a reader goroutine that
 // lives until conn closes.
 func Wrap(conn net.Conn, p Params) *Conn {
 	c := &Conn{Conn: conn, p: p}
+	if p.Loss > 0 {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	}
 	c.cond = sync.NewCond(&c.mu)
 	go c.pump()
 	return c
@@ -77,7 +146,30 @@ func (c *Conn) pump() {
 				c.busyUntil = start.Add(time.Duration(float64(n) / float64(c.p.Bps) * float64(time.Second)))
 				release = c.busyUntil.Add(c.p.Latency)
 			}
+			c.pumped += int64(n)
+			// Loss: a reliable stream retransmits, so the chunk is late, not
+			// gone; FIFO delivery makes the delay head-of-line blocking for
+			// everything queued behind it.
+			if c.rng != nil && c.rng.Float64() < c.p.Loss {
+				c.lost++
+				release = release.Add(c.p.lossRTO())
+			}
+			// Stall: one dead-air window once the byte mark is crossed.
+			if c.p.StallAfterBytes > 0 && !c.stalled && c.pumped >= c.p.StallAfterBytes {
+				c.stalled = true
+				release = release.Add(c.p.stallFor())
+			}
 			c.queue = append(c.queue, chunk{releaseAt: release, data: data})
+			// Kill: the injector closes the conn under the reader's feet once
+			// the byte budget is spent. Queued chunks still drain (they were
+			// already "on the wire"); then readers see ErrInjectedKill.
+			if c.p.KillAfterBytes > 0 && c.pumped >= c.p.KillAfterBytes {
+				c.rerr = ErrInjectedKill
+				c.cond.Broadcast()
+				c.mu.Unlock()
+				c.Conn.Close()
+				return
+			}
 		}
 		if err != nil {
 			c.rerr = err
@@ -90,11 +182,16 @@ func (c *Conn) pump() {
 	}
 }
 
-// Read implements net.Conn with shaped delivery.
+// Read implements net.Conn with shaped delivery. A reader blocked here — in
+// cond.Wait or parked on a not-yet-released chunk — unblocks promptly when
+// Close is called.
 func (c *Conn) Read(p []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
+		if c.closed {
+			return 0, net.ErrClosed
+		}
 		if len(c.buf) > 0 {
 			n := copy(p, c.buf)
 			c.buf = c.buf[n:]
@@ -108,10 +205,16 @@ func (c *Conn) Read(p []byte) (int, error) {
 				c.buf = head.data
 				continue
 			}
-			// Sleep outside the lock, then re-check.
-			c.mu.Unlock()
-			time.Sleep(wait)
-			c.mu.Lock()
+			// Wait on the condition with a wake-up timer instead of sleeping
+			// outside the lock, so Close (which broadcasts) interrupts the
+			// wait immediately rather than after the release delay.
+			timer := time.AfterFunc(wait, func() {
+				c.mu.Lock()
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			})
+			c.cond.Wait()
+			timer.Stop()
 			continue
 		}
 		if c.rerr != nil {
@@ -120,9 +223,6 @@ func (c *Conn) Read(p []byte) (int, error) {
 				err = net.ErrClosed
 			}
 			return 0, err
-		}
-		if c.closed {
-			return 0, net.ErrClosed
 		}
 		c.cond.Wait()
 	}

@@ -129,6 +129,139 @@ func TestCloseUnblocksRead(t *testing.T) {
 	}
 }
 
+// TestCloseUnblocksDelayedRead parks a reader on a chunk whose release time
+// is far in the future — the wait-with-timer path, not the empty-queue
+// cond.Wait path — and requires Close to unblock it promptly.
+func TestCloseUnblocksDelayedRead(t *testing.T) {
+	a, b := pipePair(t)
+	shaped := Wrap(b, Params{Latency: 30 * time.Second})
+	if _, err := a.Write([]byte("delayed far beyond the test deadline")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the chunk is queued so Read blocks on the release time.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		shaped.mu.Lock()
+		queued := len(shaped.queue) > 0
+		shaped.mu.Unlock()
+		if queued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("chunk never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := shaped.Read(make([]byte, 8))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	shaped.Close()
+	select {
+	case err := <-done:
+		if err != net.ErrClosed {
+			t.Fatalf("read returned %v after close, want net.ErrClosed", err)
+		}
+		if since := time.Since(start); since > time.Second {
+			t.Fatalf("read unblocked %v after close, want prompt", since)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read parked on a delayed chunk did not unblock on close")
+	}
+}
+
+func TestLossAddsDelayNotCorruption(t *testing.T) {
+	a, b := pipePair(t)
+	// Loss 1 => every chunk pays the RTO; payload must still arrive intact.
+	shaped := Wrap(b, Params{Loss: 1, LossRTO: 50 * time.Millisecond, Seed: 7})
+	payload := []byte("lossy but reliable")
+	start := time.Now()
+	go func() {
+		a.Write(payload)
+		a.Close()
+	}()
+	got, err := io.ReadAll(shaped)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("loss added no delay (%v)", elapsed)
+	}
+	if shaped.LostChunks() == 0 {
+		t.Fatal("loss injector never fired")
+	}
+}
+
+func TestLossDrawsAreSeedDeterministic(t *testing.T) {
+	run := func(seed int64) int {
+		a, b := pipePair(t)
+		shaped := Wrap(b, Params{Loss: 0.5, LossRTO: time.Millisecond, Seed: seed})
+		go func() {
+			buf := make([]byte, 1000)
+			for i := 0; i < 20; i++ {
+				a.Write(buf)
+				time.Sleep(2 * time.Millisecond) // separate chunks
+			}
+			a.Close()
+		}()
+		io.Copy(io.Discard, shaped)
+		return shaped.LostChunks()
+	}
+	// Same seed twice: identical draw sequence over the same chunk count.
+	// (Chunk boundaries depend on TCP timing, so compare counts, which are
+	// stable with the paced writes above.)
+	if a, b := run(42), run(42); a != b {
+		t.Fatalf("seed 42 gave %d then %d lost chunks", a, b)
+	}
+}
+
+func TestKillAfterBytes(t *testing.T) {
+	a, b := pipePair(t)
+	shaped := Wrap(b, Params{KillAfterBytes: 10_000})
+	go func() {
+		buf := make([]byte, 4096)
+		for i := 0; i < 16; i++ {
+			if _, err := a.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	n, err := io.Copy(io.Discard, shaped)
+	if err != ErrInjectedKill {
+		t.Fatalf("err = %v, want ErrInjectedKill", err)
+	}
+	if n < 10_000 {
+		t.Fatalf("delivered only %d bytes before the kill, want >= budget", n)
+	}
+}
+
+func TestStallInjector(t *testing.T) {
+	a, b := pipePair(t)
+	shaped := Wrap(b, Params{StallAfterBytes: 5000, StallFor: 150 * time.Millisecond})
+	payload := make([]byte, 20_000)
+	go func() {
+		a.Write(payload)
+		a.Close()
+	}()
+	start := time.Now()
+	n, err := io.Copy(io.Discard, shaped)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload)) {
+		t.Fatalf("read %d bytes, want %d", n, len(payload))
+	}
+	if elapsed := time.Since(start); elapsed < 140*time.Millisecond {
+		t.Fatalf("stall added no dead air (%v)", elapsed)
+	}
+}
+
 func TestLTEProfile(t *testing.T) {
 	p := LTE()
 	if p.Latency <= 0 || p.Bps <= 0 {

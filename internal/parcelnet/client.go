@@ -2,8 +2,11 @@ package parcelnet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -12,32 +15,108 @@ import (
 
 func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }
 
+// ErrClosed is returned by Object and WaitComplete after the client itself
+// was closed — distinct from a timeout, so callers can tell "you hung up"
+// from "the object never arrived".
+var ErrClosed = errors.New("parcelnet: client closed")
+
+// ErrProxyGone is returned when the proxy connection died and the retry
+// budget was exhausted without a configured direct-origin fallback.
+var ErrProxyGone = errors.New("parcelnet: proxy connection lost")
+
+// ClientConfig tunes connection recovery. The zero value gives sensible
+// defaults: 5 s dial timeout, 3 reconnect attempts with 50 ms–2 s jittered
+// exponential backoff, and no direct-origin fallback.
+type ClientConfig struct {
+	// Dial overrides net.Dial (e.g. a netem-shaping dialer). When nil,
+	// connections use net.DialTimeout with DialTimeout.
+	Dial func(network, addr string) (net.Conn, error)
+	// DialTimeout bounds each dial attempt (default 5 s; only applies to the
+	// built-in dialer — custom Dial funcs own their timeouts).
+	DialTimeout time.Duration
+	// MaxRetries is the reconnect budget after the proxy connection drops
+	// mid-page (default 3; negative disables reconnection entirely).
+	MaxRetries int
+	// BackoffBase and BackoffMax bound the jittered exponential backoff
+	// between reconnect attempts (defaults 50 ms and 2 s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the backoff jitter so recovery replays deterministically
+	// (default 1).
+	Seed int64
+	// DirectOrigin, when set, is the replay origin address the client
+	// degrades to once the retry budget is spent: the page completes in DIR
+	// mode, fetching remaining objects straight from the origin.
+	DirectOrigin string
+	// Logf, when set, receives recovery diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *ClientConfig) fillDefaults() {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+}
+
 // Client is the real-network PARCEL client: it opens the single proxy
 // connection, sends the page request, receives pushed bundles into a local
 // object store, and requests still-missing objects after the proxy's
-// completion notification (§4.5). Rendering/JS execution is up to the
+// completion notification (§4.5). If the proxy connection drops mid-page the
+// client reconnects with backoff and resumes the session (re-sending the
+// request with a manifest of objects it already holds); once the retry
+// budget is spent it degrades to fetching directly from the origin when
+// ClientConfig.DirectOrigin is set. Rendering/JS execution is up to the
 // embedding application (the simulation packages model it; a real deployment
 // would hand the store to a WebView, §5.2).
 type Client struct {
-	conn net.Conn
-	fw   *FrameWriter
+	addr string
+	cfg  ClientConfig
 
 	mu       sync.Mutex
 	cond     *sync.Cond
+	conn     net.Conn // current connection; compared by readLoop for staleness
+	fw       *FrameWriter
 	store    map[string]mhtml.Part
 	order    []string
+	page     *PageRequest // active page, kept for session resume
 	notified bool
 	note     CompleteNote
 	rerr     error
+	closed   bool
+	degraded bool
+	direct   *OriginFetcher
+	rng      *rand.Rand // backoff jitter; touched only by the reconnect goroutine
 
 	// BundlesReceived counts pushed bundles.
 	BundlesReceived int
 	// BytesReceived counts MHTML payload bytes received.
 	BytesReceived int64
-	// Fallbacks counts missing-object requests sent.
+	// Fallbacks counts missing-object requests (to the proxy, or directly to
+	// the origin once degraded).
 	Fallbacks int
+	// Resumes counts successful session resumes after a reconnect.
+	Resumes int
+	// Retries counts reconnect dial attempts.
+	Retries int
+	// DirectFetches counts objects fetched from the origin in degraded mode.
+	DirectFetches int
 
-	// FirstByteAt and CompleteAt are wall-clock milestones.
+	// FirstAt and CompleteAt are wall-clock milestones.
 	startedAt  time.Time
 	FirstAt    time.Time
 	CompleteAt time.Time
@@ -46,52 +125,84 @@ type Client struct {
 // Dial connects to a PARCEL proxy. dial may be nil (plain net.Dial) or a
 // shaping dialer (e.g. one that wraps the conn with netem).
 func Dial(addr string, dial func(network, addr string) (net.Conn, error)) (*Client, error) {
-	if dial == nil {
-		dial = net.Dial
+	return DialConfig(addr, ClientConfig{Dial: dial})
+}
+
+// DialConfig connects to a PARCEL proxy with explicit recovery settings.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	cfg.fillDefaults()
+	c := &Client{
+		addr:  addr,
+		cfg:   cfg,
+		store: make(map[string]mhtml.Part),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
-	conn, err := dial("tcp", addr)
+	c.cond = sync.NewCond(&c.mu)
+	conn, err := c.dial()
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{
-		conn:  conn,
-		fw:    NewFrameWriter(conn),
-		store: make(map[string]mhtml.Part),
-	}
-	c.cond = sync.NewCond(&c.mu)
-	go c.readLoop()
+	c.conn = conn
+	c.fw = NewFrameWriter(conn)
+	go c.readLoop(conn)
 	return c, nil
 }
 
-// Close closes the proxy connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) dial() (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial("tcp", c.addr)
+	}
+	return net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+}
+
+// Close closes the proxy connection. Blocked Object/WaitComplete callers
+// return ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if c.rerr == nil {
+		c.rerr = ErrClosed
+	}
+	conn := c.conn
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return conn.Close()
+}
+
+// Degraded reports whether the client fell back to direct-origin fetching.
+func (c *Client) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
 
 // RequestPage asks the proxy to load url on the client's behalf.
 func (c *Client) RequestPage(url, userAgent, screen string) error {
+	req := PageRequest{URL: url, UserAgent: userAgent, Screen: screen}
 	c.mu.Lock()
 	c.startedAt = time.Now()
+	c.page = &req
+	fw := c.fw
 	c.mu.Unlock()
-	return c.fw.WriteJSON(TPageRequest, PageRequest{URL: url, UserAgent: userAgent, Screen: screen})
+	return fw.WriteJSON(TPageRequest, req)
 }
 
-func (c *Client) readLoop() {
+func (c *Client) readLoop(conn net.Conn) {
 	for {
-		typ, payload, err := ReadFrame(c.conn)
+		typ, payload, err := ReadFrame(conn)
 		if err != nil {
-			c.mu.Lock()
-			c.rerr = err
-			c.cond.Broadcast()
-			c.mu.Unlock()
+			c.onDisconnect(conn, err)
 			return
 		}
 		switch typ {
 		case TBundle, TObjectResponse:
 			parts, err := mhtml.Decode(payload)
 			if err != nil {
-				c.mu.Lock()
-				c.rerr = fmt.Errorf("parcelnet: bad bundle: %w", err)
-				c.cond.Broadcast()
-				c.mu.Unlock()
+				c.fail(fmt.Errorf("parcelnet: bad bundle: %w", err))
 				return
 			}
 			c.mu.Lock()
@@ -126,9 +237,138 @@ func (c *Client) readLoop() {
 	}
 }
 
+// fail records a fatal protocol error and wakes waiters.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.rerr == nil {
+		c.rerr = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// onDisconnect decides what a dead connection means: nothing (stale
+// generation or client closed), a fatal error (no page in flight), or a
+// recovery attempt (reconnect with backoff, then degrade or die).
+func (c *Client) onDisconnect(conn net.Conn, err error) {
+	c.mu.Lock()
+	if c.conn != conn || c.closed || c.degraded {
+		c.mu.Unlock()
+		return
+	}
+	if c.page == nil || c.notified || c.cfg.MaxRetries < 0 {
+		// No page in flight (or it already completed): nothing to resume.
+		if c.rerr == nil {
+			c.rerr = fmt.Errorf("%w: %v", ErrProxyGone, err)
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("proxy connection lost mid-page (%v); reconnecting", err)
+	go c.reconnect(conn)
+}
+
+// reconnect retries the proxy with jittered exponential backoff, resuming
+// the session on success and degrading (or failing) when the budget is spent.
+func (c *Client) reconnect(dead net.Conn) {
+	for attempt := 0; attempt < c.cfg.MaxRetries; attempt++ {
+		time.Sleep(c.backoff(attempt))
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		c.Retries++
+		c.mu.Unlock()
+		conn, err := c.dial()
+		if err != nil {
+			c.cfg.Logf("reconnect attempt %d: %v", attempt+1, err)
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		req := *c.page
+		req.Have = make([]string, 0, len(c.store))
+		for u := range c.store {
+			req.Have = append(req.Have, u)
+		}
+		sort.Strings(req.Have)
+		c.conn = conn
+		c.fw = NewFrameWriter(conn)
+		fw := c.fw
+		c.mu.Unlock()
+		if err := fw.WriteJSON(TPageRequest, req); err != nil {
+			c.cfg.Logf("resume request failed: %v", err)
+			conn.Close()
+			continue
+		}
+		c.mu.Lock()
+		c.Resumes++
+		c.mu.Unlock()
+		c.cfg.Logf("session resumed with %d objects already held", len(req.Have))
+		go c.readLoop(conn)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if c.cfg.DirectOrigin != "" {
+		// Graceful degradation: the page finishes in DIR mode. Completion is
+		// declared so Object() falls straight through to direct fetches.
+		c.degraded = true
+		c.notified = true
+		if c.CompleteAt.IsZero() {
+			c.CompleteAt = time.Now()
+		}
+		c.cfg.Logf("retry budget spent; degrading to direct origin %s", c.cfg.DirectOrigin)
+	} else if c.rerr == nil {
+		c.rerr = fmt.Errorf("%w after %d retries", ErrProxyGone, c.cfg.MaxRetries)
+	}
+	c.cond.Broadcast()
+}
+
+// backoff returns the jittered exponential delay before reconnect attempt n.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << uint(attempt)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	// Half fixed, half jitter: avoids thundering herds while keeping the
+	// delay within [d/2, d].
+	half := int64(d / 2)
+	return time.Duration(half + c.rng.Int63n(half+1))
+}
+
+// fetchDirect retrieves url straight from the configured origin (DIR mode).
+func (c *Client) fetchDirect(url string) (mhtml.Part, error) {
+	c.mu.Lock()
+	if c.direct == nil {
+		c.direct = NewOriginFetcher(c.cfg.DirectOrigin)
+	}
+	f := c.direct
+	c.Fallbacks++
+	c.DirectFetches++
+	c.mu.Unlock()
+	body, ct, status, err := f.Fetch(url)
+	if err != nil {
+		return mhtml.Part{}, fmt.Errorf("parcelnet: direct fetch %s: %w", url, err)
+	}
+	return mhtml.Part{URL: url, ContentType: ct, Status: status, Body: body}, nil
+}
+
 // Object returns the named object, waiting for it to be pushed. If the
 // completion notification has arrived and the object is still missing, a
-// fallback request is sent to the proxy (once). It fails after timeout.
+// fallback request is sent to the proxy (once) — or, in degraded mode,
+// fetched directly from the origin. It fails after timeout; a dead client
+// fails immediately with ErrClosed or ErrProxyGone instead.
 func (c *Client) Object(url string, timeout time.Duration) (mhtml.Part, error) {
 	deadline := time.Now().Add(timeout)
 	timer := time.AfterFunc(timeout, func() {
@@ -148,10 +388,25 @@ func (c *Client) Object(url string, timeout time.Duration) (mhtml.Part, error) {
 		if c.rerr != nil {
 			return mhtml.Part{}, c.rerr
 		}
+		if c.degraded {
+			c.mu.Unlock()
+			p, err := c.fetchDirect(url)
+			c.mu.Lock()
+			if err != nil {
+				return mhtml.Part{}, err
+			}
+			if _, dup := c.store[p.URL]; !dup {
+				c.order = append(c.order, p.URL)
+			}
+			c.store[p.URL] = p
+			c.cond.Broadcast()
+			return p, nil
+		}
 		if c.notified && !requested {
 			requested = true
 			c.Fallbacks++
-			go c.fw.WriteJSON(TObjectRequest, ObjectRequest{URL: url})
+			fw := c.fw
+			go fw.WriteJSON(TObjectRequest, ObjectRequest{URL: url})
 		}
 		if time.Now().After(deadline) {
 			return mhtml.Part{}, fmt.Errorf("parcelnet: timeout waiting for %s", url)
@@ -161,6 +416,8 @@ func (c *Client) Object(url string, timeout time.Duration) (mhtml.Part, error) {
 }
 
 // WaitComplete blocks until the proxy's completion notification (or timeout).
+// A degraded client reports completion immediately; a dead client returns
+// ErrClosed or ErrProxyGone instead of waiting out the timeout.
 func (c *Client) WaitComplete(timeout time.Duration) (CompleteNote, error) {
 	deadline := time.Now().Add(timeout)
 	timer := time.AfterFunc(timeout, func() {

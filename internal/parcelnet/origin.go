@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/parcel-go/parcel/internal/httpsim"
@@ -20,9 +21,13 @@ type Origin struct {
 	srv   *http.Server
 	ln    net.Listener
 
-	// Requests counts served requests.
-	Requests int64
+	// requests counts served requests (atomic: the server handles
+	// concurrent crawler fetches).
+	requests atomic.Int64
 }
+
+// Requests returns how many requests the origin has served.
+func (o *Origin) Requests() int64 { return o.requests.Load() }
 
 // StartOrigin serves store on addr ("127.0.0.1:0" for an ephemeral port).
 func StartOrigin(addr string, store httpsim.Store) (*Origin, error) {
@@ -43,7 +48,7 @@ func (o *Origin) Addr() string { return o.ln.Addr().String() }
 func (o *Origin) Close() error { return o.srv.Close() }
 
 func (o *Origin) handle(w http.ResponseWriter, r *http.Request) {
-	o.Requests++
+	o.requests.Add(1)
 	logical := "http://" + r.Host + r.URL.RequestURI()
 	obj, ok := o.store.Get(logical)
 	if !ok {

@@ -20,6 +20,11 @@ type ProxyConfig struct {
 	Sched sched.Config
 	// QuietPeriod is the §4.5 completion heuristic window.
 	QuietPeriod time.Duration
+	// IdleTimeout reaps sessions whose client has gone silent: the read side
+	// is deadlined per frame, so a dead client frees its session (and the
+	// resources behind it) instead of pinning them forever. 0 means the
+	// 2-minute default; negative disables the deadline.
+	IdleTimeout time.Duration
 	// FixedRandom applies the §7.3 replay rewrite in page JS.
 	FixedRandom bool
 	// Logf, when set, receives diagnostic lines.
@@ -30,9 +35,12 @@ type ProxyConfig struct {
 type Proxy struct {
 	cfg ProxyConfig
 	ln  net.Listener
+	wg  sync.WaitGroup
 
-	mu       sync.Mutex
-	sessions int
+	mu     sync.Mutex
+	active map[*session]struct{}
+	served int
+	closed bool
 }
 
 // StartProxy listens on addr and serves PARCEL sessions.
@@ -42,6 +50,9 @@ func StartProxy(addr string, cfg ProxyConfig) (*Proxy, error) {
 	}
 	if cfg.QuietPeriod == 0 {
 		cfg.QuietPeriod = 2 * time.Second
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 2 * time.Minute
 	}
 	if err := cfg.Sched.Validate(); err != nil {
 		return nil, err
@@ -53,7 +64,8 @@ func StartProxy(addr string, cfg ProxyConfig) (*Proxy, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Proxy{cfg: cfg, ln: ln}
+	p := &Proxy{cfg: cfg, ln: ln, active: make(map[*session]struct{})}
+	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
 }
@@ -61,55 +73,96 @@ func StartProxy(addr string, cfg ProxyConfig) (*Proxy, error) {
 // Addr returns the proxy's listen address.
 func (p *Proxy) Addr() string { return p.ln.Addr().String() }
 
-// Close stops accepting sessions.
-func (p *Proxy) Close() error { return p.ln.Close() }
+// Close stops accepting sessions, tears down the active ones, and waits for
+// their goroutines to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.active))
+	for s := range p.active {
+		conns = append(conns, s.conn)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
 
-// Sessions returns the number of sessions served so far.
+// Sessions returns the number of currently active sessions.
 func (p *Proxy) Sessions() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.sessions
+	return len(p.active)
+}
+
+// SessionsServed returns the total number of sessions accepted so far.
+func (p *Proxy) SessionsServed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.served
 }
 
 func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
 	for {
 		conn, err := p.ln.Accept()
 		if err != nil {
 			return
 		}
-		p.mu.Lock()
-		p.sessions++
-		p.mu.Unlock()
-		go p.serve(conn)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.serve(conn)
+		}()
 	}
 }
 
 // session is the per-connection proxy state.
 type session struct {
 	proxy *Proxy
+	conn  net.Conn
 	fw    *FrameWriter
 
 	mu           sync.Mutex
 	bundler      *sched.Bundler
 	cache        map[string]Object
+	have         map[string]bool // resume manifest: objects the client holds
 	quiet        *time.Timer
 	onloadSeen   bool
 	completeSent bool
+	closed       bool
 	pushed       int
 	pushedBytes  int64
+	skipped      int
 
 	fetch *OriginFetcher
 }
 
 func (p *Proxy) serve(conn net.Conn) {
-	defer conn.Close()
 	s := &session{
 		proxy: p,
+		conn:  conn,
 		fw:    NewFrameWriter(conn),
 		cache: make(map[string]Object),
 		fetch: NewOriginFetcher(p.cfg.OriginAddr),
 	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	p.served++
+	p.active[s] = struct{}{}
+	p.mu.Unlock()
+	defer s.teardown()
 	for {
+		if p.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(p.cfg.IdleTimeout))
+		}
 		typ, payload, err := ReadFrame(conn)
 		if err != nil {
 			return
@@ -135,10 +188,33 @@ func (p *Proxy) serve(conn net.Conn) {
 	}
 }
 
+// teardown releases everything a session holds: the connection, the pending
+// quiet timer, and the fetcher's idle origin connections. It runs exactly
+// once, when serve returns, and unregisters the session from the proxy.
+func (s *session) teardown() {
+	s.mu.Lock()
+	s.closed = true
+	if s.quiet != nil {
+		s.quiet.Stop()
+		s.quiet = nil
+	}
+	s.mu.Unlock()
+	s.conn.Close()
+	s.fetch.Client.CloseIdleConnections()
+	p := s.proxy
+	p.mu.Lock()
+	delete(p.active, s)
+	p.mu.Unlock()
+}
+
 func (s *session) startPage(req PageRequest) {
 	cfg := s.proxy.cfg
-	cfg.Logf("page request: %s (ua=%q)", req.URL, req.UserAgent)
+	cfg.Logf("page request: %s (ua=%q, have=%d)", req.URL, req.UserAgent, len(req.Have))
 	s.mu.Lock()
+	s.have = make(map[string]bool, len(req.Have))
+	for _, u := range req.Have {
+		s.have[u] = true
+	}
 	s.bundler = sched.NewBundler(cfg.Sched, s.flushLocked)
 	s.mu.Unlock()
 
@@ -151,10 +227,19 @@ func (s *session) startPage(req PageRequest) {
 }
 
 // collect feeds one crawled object into the schedule and resets the §4.5
-// inactivity window.
+// inactivity window. Objects the resume manifest already lists are cached
+// (they can still be served via fallback) but not re-pushed.
 func (s *session) collect(obj Object) {
 	s.mu.Lock()
 	s.cache[obj.URL] = obj
+	if s.have[obj.URL] {
+		s.skipped++
+		if s.onloadSeen {
+			s.armQuietLocked()
+		}
+		s.mu.Unlock()
+		return
+	}
 	if s.completeSent {
 		s.mu.Unlock()
 		s.push([]sched.Item{itemFromObject(obj)}, sched.FlushComplete)
@@ -176,6 +261,9 @@ func (s *session) onLoad() {
 }
 
 func (s *session) armQuietLocked() {
+	if s.closed {
+		return
+	}
 	if s.quiet != nil {
 		s.quiet.Stop()
 	}
@@ -184,13 +272,13 @@ func (s *session) armQuietLocked() {
 
 func (s *session) declareComplete() {
 	s.mu.Lock()
-	if s.completeSent {
+	if s.completeSent || s.closed {
 		s.mu.Unlock()
 		return
 	}
 	s.completeSent = true
 	s.bundler.Complete()
-	note := CompleteNote{ObjectsPushed: s.pushed, BytesPushed: s.pushedBytes}
+	note := CompleteNote{ObjectsPushed: s.pushed, BytesPushed: s.pushedBytes, ObjectsSkipped: s.skipped}
 	s.mu.Unlock()
 	if err := s.fw.WriteJSON(TComplete, note); err != nil {
 		s.proxy.cfg.Logf("send complete: %v", err)

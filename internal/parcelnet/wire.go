@@ -27,17 +27,22 @@ const (
 // maxFrame bounds a frame payload (64 MB) against corrupt length prefixes.
 const maxFrame = 64 << 20
 
-// PageRequest asks the proxy to load a page.
+// PageRequest asks the proxy to load a page. Have lists objects the client
+// already holds — a reconnecting client resumes its session by re-sending the
+// request with a manifest, and the proxy pushes only what is still missing.
 type PageRequest struct {
-	URL       string `json:"url"`
-	UserAgent string `json:"user_agent,omitempty"`
-	Screen    string `json:"screen,omitempty"`
+	URL       string   `json:"url"`
+	UserAgent string   `json:"user_agent,omitempty"`
+	Screen    string   `json:"screen,omitempty"`
+	Have      []string `json:"have,omitempty"`
 }
 
-// CompleteNote is the §4.5 completion notification.
+// CompleteNote is the §4.5 completion notification. ObjectsSkipped counts
+// objects withheld because the resume manifest already listed them.
 type CompleteNote struct {
-	ObjectsPushed int   `json:"objects_pushed"`
-	BytesPushed   int64 `json:"bytes_pushed"`
+	ObjectsPushed  int   `json:"objects_pushed"`
+	BytesPushed    int64 `json:"bytes_pushed"`
+	ObjectsSkipped int   `json:"objects_skipped,omitempty"`
 }
 
 // ObjectRequest is the client's missing-object fallback.

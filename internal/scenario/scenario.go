@@ -47,6 +47,12 @@ type Params struct {
 	ProxyBps      int64
 	OriginThink   time.Duration
 	DNSServerTime time.Duration
+
+	// AccessFaults injects loss/outages on every path that crosses the
+	// client's access link (client↔proxy, client↔DNS, client↔origins). The
+	// zero value keeps the network fault-free and bit-identical to the
+	// historical topologies.
+	AccessFaults simnet.FaultParams
 }
 
 // DefaultParams returns the paper-calibrated defaults.
@@ -122,6 +128,10 @@ func Build(page webgen.Page, p Params) *Topology {
 	n.SetPath(client, proxy, simnet.PathParams{RTT: accessRTT, Jitter: jitter})
 	n.SetPath(client, dns, simnet.PathParams{RTT: accessRTT, Jitter: jitter})
 	n.SetPath(proxy, dns, simnet.PathParams{RTT: 2 * time.Millisecond})
+	if p.AccessFaults.Active() {
+		n.SetFaults(client, proxy, p.AccessFaults)
+		n.SetFaults(client, dns, p.AccessFaults)
+	}
 
 	rng := sim.Rand()
 	dir := make(httpsim.Directory, len(page.Domains))
@@ -135,6 +145,9 @@ func Build(page webgen.Page, p Params) *Topology {
 		// Client reaches origins through the LTE access plus the wired leg.
 		n.SetPath(client, origin, simnet.PathParams{RTT: accessRTT + originRTT, Jitter: jitter})
 		n.SetPath(proxy, origin, simnet.PathParams{RTT: originRTT})
+		if p.AccessFaults.Active() {
+			n.SetFaults(client, origin, p.AccessFaults)
+		}
 		httpsim.NewServer(sim, origin, store, p.OriginThink)
 		dir[domain] = origin
 	}

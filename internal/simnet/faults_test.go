@@ -1,0 +1,185 @@
+package simnet
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/eventsim"
+	"github.com/parcel-go/parcel/internal/trace"
+)
+
+// chaosSeed returns the seed for fault-injection tests. The CI chaos job runs
+// the suite across a seed matrix via CHAOS_SEED; locally it defaults to 1.
+func chaosSeed() int64 {
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 1
+}
+
+// faultNet builds the standard two-host test network with faults on the path.
+func faultNet(t testing.TB, seed int64, f FaultParams) (*eventsim.Simulator, *Network, *Host, *Host) {
+	t.Helper()
+	sim := eventsim.New(seed)
+	n := New(sim)
+	client := n.AddHost("client", HostConfig{DownlinkBps: mbps8, UplinkBps: mbps8 / 4, Recorder: &trace.Recorder{}})
+	server := n.AddHost("server", HostConfig{DownlinkBps: mbps100, UplinkBps: mbps100})
+	n.SetPath(client, server, PathParams{RTT: 80 * time.Millisecond})
+	if f.Active() {
+		n.SetFaults(client, server, f)
+	}
+	return sim, n, client, server
+}
+
+// runTransfer sends size bytes server->client and returns the delivery time.
+func runTransfer(t testing.TB, sim *eventsim.Simulator, client, server *Host, size int) time.Duration {
+	t.Helper()
+	var end time.Duration
+	server.Listen(func(c *Conn) {
+		c.OnMessage(server, func(m Message) {
+			c.Send(server, size, nil, "blob", func(at time.Duration) { end = at })
+		})
+	})
+	conn := client.Dial(server, nil)
+	conn.Send(client, 200, "go", "req", nil)
+	sim.Run()
+	if end == 0 {
+		t.Fatal("transfer never completed")
+	}
+	return end
+}
+
+func TestFaultsLossDelaysButDelivers(t *testing.T) {
+	seed := chaosSeed()
+	simClean, _, c1, s1 := faultNet(t, seed, FaultParams{})
+	clean := runTransfer(t, simClean, c1, s1, 1<<20)
+
+	simLossy, nLossy, c2, s2 := faultNet(t, seed, FaultParams{LossRate: 0.05})
+	lossy := runTransfer(t, simLossy, c2, s2, 1<<20)
+
+	st := nLossy.FaultStats()
+	if st.Dropped == 0 || st.Retransmits == 0 {
+		t.Fatalf("5%% loss produced no drops: %+v", st)
+	}
+	if lossy <= clean {
+		t.Fatalf("lossy transfer (%v) not slower than clean (%v)", lossy, clean)
+	}
+}
+
+func TestFaultsDeterministicAcrossRuns(t *testing.T) {
+	f := FaultParams{LossRate: 0.02, PGoodBad: 0.05, PBadGood: 0.3, LossRateBad: 0.4}
+	seed := chaosSeed()
+	run := func() (time.Duration, FaultStats) {
+		sim, n, client, server := faultNet(t, seed, f)
+		end := runTransfer(t, sim, client, server, 2<<20)
+		return end, n.FaultStats()
+	}
+	end1, st1 := run()
+	end2, st2 := run()
+	if end1 != end2 || !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("same seed diverged: %v/%+v vs %v/%+v", end1, st1, end2, st2)
+	}
+}
+
+func TestFaultsBurstLossierThanUniform(t *testing.T) {
+	// A GE chain that spends ~1/6 of packets in a 50%-loss bad state drops
+	// far more than the same chain pinned to its good state.
+	seed := chaosSeed()
+	_, nBurst, cb, sb := faultNet(t, seed, FaultParams{
+		LossRate: 0.001, PGoodBad: 0.05, PBadGood: 0.25, LossRateBad: 0.5,
+	})
+	simB := nBurst.Sim
+	runTransfer(t, simB, cb, sb, 2<<20)
+
+	_, nGood, cg, sg := faultNet(t, seed, FaultParams{LossRate: 0.001})
+	runTransfer(t, nGood.Sim, cg, sg, 2<<20)
+
+	if nBurst.FaultStats().Dropped <= nGood.FaultStats().Dropped {
+		t.Fatalf("burst profile dropped %d <= uniform %d",
+			nBurst.FaultStats().Dropped, nGood.FaultStats().Dropped)
+	}
+}
+
+func TestFaultsOutageBlocksLink(t *testing.T) {
+	// The link goes down 50 ms in for 500 ms; a transfer that finishes in
+	// ~1.2 s clean must absorb the window.
+	out := Outage{Start: 50 * time.Millisecond, End: 550 * time.Millisecond}
+	seed := chaosSeed()
+	simClean, _, c1, s1 := faultNet(t, seed, FaultParams{})
+	clean := runTransfer(t, simClean, c1, s1, 1<<20)
+
+	simOut, nOut, c2, s2 := faultNet(t, seed, FaultParams{Outages: []Outage{out}})
+	blocked := runTransfer(t, simOut, c2, s2, 1<<20)
+
+	if nOut.FaultStats().OutageDeferrals == 0 {
+		t.Fatal("no departures deferred by the outage window")
+	}
+	if blocked < clean+400*time.Millisecond {
+		t.Fatalf("outage added only %v, want most of the 500ms window", blocked-clean)
+	}
+}
+
+func TestFaultsTerminateAtFullLoss(t *testing.T) {
+	// LossRate 1 must still terminate via the MaxAttempts forced delivery.
+	sim, n, client, server := faultNet(t, chaosSeed(), FaultParams{LossRate: 1, MaxAttempts: 4, RTO: 20 * time.Millisecond})
+	runTransfer(t, sim, client, server, 10_000)
+	if n.FaultStats().ForcedDeliveries == 0 {
+		t.Fatal("full loss completed without forced deliveries")
+	}
+}
+
+func TestFaultsValidate(t *testing.T) {
+	bad := []FaultParams{
+		{LossRate: 1.5},
+		{PGoodBad: -0.1},
+		{Outages: []Outage{{Start: time.Second, End: time.Second}}},
+		{RTO: -time.Second},
+		{MaxAttempts: -1},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: invalid FaultParams accepted: %+v", i, f)
+		}
+	}
+	if err := (FaultParams{LossRate: 0.1, Outages: []Outage{{End: time.Second}}}).Validate(); err != nil {
+		t.Errorf("valid FaultParams rejected: %v", err)
+	}
+}
+
+func TestSetFaultsRequiresPath(t *testing.T) {
+	sim := eventsim.New(1)
+	n := New(sim)
+	a := n.AddHost("a", HostConfig{})
+	b := n.AddHost("b", HostConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetFaults on unwired pair did not panic")
+		}
+	}()
+	n.SetFaults(a, b, FaultParams{LossRate: 0.1})
+}
+
+// TestFaultsOffIsFreeOfRandomDraws pins the zero-fault fast path: wiring a
+// zero FaultParams (or none at all) must not consume random draws or change
+// timing, which is what keeps the golden figures bit-identical.
+func TestFaultsOffIsFreeOfRandomDraws(t *testing.T) {
+	seed := chaosSeed()
+	simA, _, c1, s1 := faultNet(t, seed, FaultParams{})
+	endA := runTransfer(t, simA, c1, s1, 1<<20)
+
+	simB, nB, c2, s2 := faultNet(t, seed, FaultParams{})
+	nB.SetFaults(c2, s2, FaultParams{}) // explicit zero value
+	endB := runTransfer(t, simB, c2, s2, 1<<20)
+
+	if endA != endB {
+		t.Fatalf("zero FaultParams changed timing: %v vs %v", endA, endB)
+	}
+	if st := nB.FaultStats(); st != (FaultStats{}) {
+		t.Fatalf("zero FaultParams produced stats %+v", st)
+	}
+}

@@ -66,9 +66,11 @@ type HostConfig struct {
 // per-packet lookup is a short pointer scan instead of a map hash on a
 // composite string key. Topologies wire a handful of paths per host, so the
 // scan beats hashing even before the allocation the map key used to cost.
+// faults, when non-nil, holds this direction's injection state (SetFaults).
 type peerPath struct {
 	to     *Host
 	params PathParams
+	faults *linkFaults
 }
 
 // Host is a network endpoint.
@@ -86,12 +88,12 @@ type Host struct {
 	dgram  func(from *Host, payload any, size int, at time.Duration)
 }
 
-// pathTo returns the cached path parameters toward to; it panics if the pair
-// was never wired, which catches topology mistakes at their source.
-func (h *Host) pathTo(to *Host) PathParams {
+// peerTo returns the cached path entry toward to; it panics if the pair was
+// never wired, which catches topology mistakes at their source.
+func (h *Host) peerTo(to *Host) *peerPath {
 	for i := range h.peers {
 		if h.peers[i].to == to {
-			return h.peers[i].params
+			return &h.peers[i]
 		}
 	}
 	panic(fmt.Sprintf("simnet: no path between %q and %q", h.Name, to.Name))
@@ -109,6 +111,8 @@ type Network struct {
 	pktFree  *packet
 	msgArena []outMsg
 	msgFree  *outMsg
+
+	faultStats FaultStats
 }
 
 type pathKey struct{ a, b string }
@@ -205,6 +209,7 @@ type packet struct {
 	ackCovered int
 
 	deliverAt time.Duration
+	attempts  uint8 // transmissions lost so far (fault injection)
 
 	nextFree *packet
 	pooled   bool // true while on the free list (double-free detection)
@@ -268,7 +273,8 @@ func (n *Network) releaseOutMsg(m *outMsg) {
 // newPacket; transmit owns it until delivery dispatch releases it.
 func (n *Network) transmit(from, to *Host, pkt *packet) {
 	now := n.Sim.Now()
-	path := from.pathTo(to)
+	pp := from.peerTo(to)
+	path := pp.params
 
 	depart := now
 	if depart < from.egressBusy {
@@ -279,6 +285,15 @@ func (n *Network) transmit(from, to *Host, pkt *packet) {
 		serialize = time.Duration(float64(pkt.size) / float64(from.cfg.UplinkBps) * float64(time.Second))
 	}
 	depart += serialize
+	if pp.faults != nil {
+		// During an outage window the link carries nothing: the packet (and,
+		// via egressBusy, everything queued behind it) departs when the
+		// window ends.
+		if end, down := pp.faults.p.outageEnd(depart); down {
+			n.faultStats.OutageDeferrals++
+			depart = end
+		}
+	}
 	from.egressBusy = depart
 
 	if from.cfg.Recorder != nil {
@@ -286,6 +301,30 @@ func (n *Network) transmit(from, to *Host, pkt *packet) {
 			At: depart, Size: pkt.size, Dir: trace.Up, Kind: pkt.kind,
 			Conn: pkt.connID, Label: pkt.label,
 		})
+	}
+
+	if lf := pp.faults; lf != nil && lf.drop(n.Sim.Rand()) {
+		n.faultStats.Dropped++
+		if int(pkt.attempts) < lf.p.maxAttempts() {
+			// The attempt consumed the uplink (recorded above) but never
+			// reaches the receiver: re-transmit the same pooled packet after
+			// an exponentially backed-off RTO.
+			pkt.attempts++
+			n.faultStats.Retransmits++
+			n.faultStats.RetransmitBytes += int64(pkt.size)
+			shift := uint(pkt.attempts - 1)
+			if shift > maxRTOBackoffShift {
+				shift = maxRTOBackoffShift
+			}
+			pkt.net = n
+			pkt.from = from
+			pkt.to = to
+			n.Sim.ScheduleArgAt(depart+lf.p.rto()<<shift, pktRetransmit, pkt)
+			return
+		}
+		// MaxAttempts losses in a row: deliver anyway so the simulation
+		// terminates even under LossRate 1 inside an experiment.
+		n.faultStats.ForcedDeliveries++
 	}
 
 	prop := path.RTT / 2
