@@ -1,3 +1,12 @@
 module github.com/parcel-go/parcel
 
 go 1.22
+
+// parcel-vet (cmd/parcel-vet, internal/analysis) builds on the go/analysis
+// framework. The sources under third_party/ are the subset of
+// golang.org/x/tools that the Go toolchain itself vendors (go/analysis core,
+// unitchecker, and their internal dependencies), so the build needs no
+// network access and no module download.
+require golang.org/x/tools v0.24.0
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,58 @@
+// Package determ_sim is the positive determinism fixture: every construct
+// the analyzer must flag in a sim-deterministic package, plus the allow
+// directive in both its legal (reasoned) and illegal (reasonless) forms.
+package determ_sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "call to time.Now in sim-deterministic package"
+}
+
+func sinceStart(start time.Time) time.Duration {
+	return time.Since(start) // want "call to time.Since in sim-deterministic package"
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "call to time.Sleep in sim-deterministic package"
+}
+
+func globalDraw() int {
+	return rand.Intn(6) // want "top-level rand.Intn draws from the global RNG"
+}
+
+func seededDraw(r *rand.Rand) int {
+	return r.Intn(6) // methods on a threaded *rand.Rand are the sanctioned source
+}
+
+func freshSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors are allowed
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m { // want "map-range loop feeds fmt output"
+		fmt.Println(k, v)
+	}
+}
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want "map iteration order flows into returned slice \"out\""
+		out = append(out, k)
+	}
+	return out
+}
+
+func allowedClock() time.Time {
+	//parcelvet:allow determinism(fixture: demonstrates a reasoned escape; suppressed)
+	return time.Now()
+}
+
+func reasonlessAllow() time.Time {
+	//parcelvet:allow determinism() // want "parcelvet:allow directive requires a non-empty reason"
+	return time.Now() // want "call to time.Now in sim-deterministic package"
+}

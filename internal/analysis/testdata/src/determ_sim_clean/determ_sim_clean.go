@@ -1,0 +1,38 @@
+// Package determ_sim_clean is the negative determinism fixture: idiomatic
+// sim-deterministic code that must produce zero diagnostics.
+package determ_sim_clean
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type sim struct{ now time.Duration }
+
+// Virtual time comes from the simulator clock, never the wall clock.
+func (s *sim) elapsed(start time.Duration) time.Duration { return s.now - start }
+
+// Randomness is drawn from a seeded source threaded by the caller.
+func jitter(r *rand.Rand, base time.Duration) time.Duration {
+	return base + time.Duration(r.Intn(1000))*time.Microsecond
+}
+
+// Map iteration is fine when the order is sorted before it can escape.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Map iteration whose order never escapes the function is fine too.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,26 @@
+// Package noclosure_clean is the negative noclosure fixture: the sanctioned
+// ScheduleArgAt shape — a package-level func(any) plus a typed argument.
+package noclosure_clean
+
+type sim struct{}
+
+func (s *sim) ScheduleAt(at int64, fn func())                {}
+func (s *sim) ScheduleArgAt(at int64, fn func(any), arg any) {}
+
+type tick struct{ n int }
+
+func step(arg any) {
+	t := arg.(*tick)
+	t.n++
+}
+
+func good(s *sim, t *tick) {
+	s.ScheduleArgAt(0, step, t)
+}
+
+// A closure that only reads package-level state captures nothing.
+var counter int
+
+func goodPackageLevel(s *sim) {
+	s.ScheduleAt(0, func() { counter++ })
+}

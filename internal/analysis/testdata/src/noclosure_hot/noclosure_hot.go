@@ -1,0 +1,26 @@
+// Package noclosure_hot is the positive noclosure fixture: capturing
+// closures handed to the Schedule family in a hot package.
+package noclosure_hot
+
+type sim struct{}
+
+func (s *sim) Schedule(delay int64, fn func())               {}
+func (s *sim) ScheduleAt(at int64, fn func())                {}
+func (s *sim) ScheduleArgAt(at int64, fn func(any), arg any) {}
+
+func badCapture(s *sim, x int) {
+	s.ScheduleAt(0, func() { _ = x }) // want "closure passed to ScheduleAt captures \\[x\\]"
+}
+
+func badMultiCapture(s *sim, x, y int) {
+	s.Schedule(0, func() { _ = x + y }) // want "closure passed to Schedule captures \\[x, y\\]"
+}
+
+func okNoCapture(s *sim) {
+	s.ScheduleAt(0, func() {}) // captures nothing: allocation-free
+}
+
+func allowedCapture(s *sim, x int) {
+	//parcelvet:allow noclosure(fixture: fires once per session, off the per-packet path)
+	s.ScheduleAt(0, func() { _ = x })
+}

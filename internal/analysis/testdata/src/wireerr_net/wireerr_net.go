@@ -1,0 +1,30 @@
+// Package wireerr_net is the positive wireerr fixture: every way the
+// analyzer must catch a discarded framed-wire or deadline error.
+package wireerr_net
+
+import "time"
+
+type conn struct{}
+
+func (c *conn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *conn) SetWriteDeadline(t time.Time) error { return nil }
+
+type FrameWriter struct{}
+
+func (w *FrameWriter) WriteFrame(typ byte, payload []byte) error { return nil }
+func (w *FrameWriter) WriteJSON(typ byte, v any) error           { return nil }
+func (w *FrameWriter) Write(p []byte) (int, error)               { return len(p), nil }
+
+func bad(c *conn, w *FrameWriter) {
+	c.SetReadDeadline(time.Time{})      // want "error from SetReadDeadline discarded"
+	w.WriteFrame(1, nil)                // want "error from WriteFrame discarded"
+	go w.WriteJSON(1, nil)              // want "error from WriteJSON discarded by go statement"
+	defer w.WriteFrame(2, nil)          // want "error from WriteFrame discarded by defer"
+	_ = c.SetWriteDeadline(time.Time{}) // want "error from SetWriteDeadline assigned to blank identifier"
+	_, _ = w.Write(nil)                 // want "error from Write assigned to blank identifier"
+}
+
+func allowedDiscard(w *FrameWriter) {
+	//parcelvet:allow wireerr(fixture: best-effort notification on an already-dying session)
+	w.WriteFrame(3, nil)
+}

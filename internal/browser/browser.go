@@ -15,6 +15,7 @@ package browser
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -194,6 +195,7 @@ func (e *Engine) RequestedURLs() []string {
 	for u := range e.requested {
 		out = append(out, u)
 	}
+	sort.Strings(out)
 	return out
 }
 

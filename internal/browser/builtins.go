@@ -40,6 +40,7 @@ func (e *Engine) bindBuiltins() {
 		e.addEffect(func() {
 			e.TimersSet++
 			e.pendingTotal++
+			//parcelvet:allow noclosure(one allocation per page-level JS timer, not per packet; the continuation needs the full scriptCtx and closure value, which have no pooled carrier)
 			e.sim.Schedule(time.Duration(ms)*time.Millisecond, func() {
 				tctx := scriptCtx{baseURL: ctx.baseURL, blocking: false, depth: ctx.depth}
 				e.runBuffered(tctx, func() error {

@@ -218,13 +218,21 @@ func (s *Session) onClientMessage(m simnet.Message) {
 	s.clientCPUActive += cost
 	if snap.Initial {
 		s.snapshotAt = m.At
-		s.topo.Sim.ScheduleAt(end, func() { s.renderedAt = s.topo.Sim.Now() })
+		s.topo.Sim.ScheduleArgAt(end, markRendered, s)
 	}
 	if s.onUpdate != nil {
 		cb := s.onUpdate
 		s.onUpdate = nil
+		//parcelvet:allow noclosure(fires once per user interaction, not per packet; the caller-supplied callback value has no typed carrier field)
 		s.topo.Sim.ScheduleAt(end, func() { cb(s.topo.Sim.Now()) })
 	}
+}
+
+// markRendered is the ScheduleArgAt continuation for the initial snapshot
+// render completing on the thin client.
+func markRendered(arg any) {
+	s := arg.(*Session)
+	s.renderedAt = s.topo.Sim.Now()
 }
 
 // Click relays a user interaction to the cloud; cb (optional) fires when the

@@ -245,6 +245,7 @@ func (s *ProxySession) armQuietTimer() {
 	if s.quietTimer != nil {
 		s.quietTimer.Cancel()
 	}
+	//parcelvet:allow pooldiscipline(Event handles are arena-backed and valid for the simulator's lifetime; the field only holds the handle so a superseding quiet timer can Cancel it)
 	s.quietTimer = s.proxy.topo.Sim.Schedule(s.proxy.cfg.QuietPeriod, s.declareComplete)
 }
 

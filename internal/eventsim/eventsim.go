@@ -22,6 +22,8 @@ import (
 // zero-allocation hot paths: a package-level func(any) plus a pooled
 // argument pointer schedules without materialising a closure, where a
 // capturing closure would heap-allocate once per event.
+//
+//parcelvet:pooled
 type Event struct {
 	at     time.Duration
 	seq    uint64
@@ -73,6 +75,7 @@ func (h *eventHeap) Pop() any {
 	old[n-1] = nil
 	e.index = -1
 	*h = old[:n-1]
+	//parcelvet:allow pooldiscipline(heap.Interface plumbing: the popped Event goes straight to Step, which runs and forgets it; arena blocks are never recycled mid-run)
 	return e
 }
 
@@ -146,6 +149,7 @@ func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
 	if delay < 0 {
 		delay = 0
 	}
+	//parcelvet:allow pooldiscipline(Event handles are arena-backed and valid for the simulator's lifetime; callers hold them only to Cancel)
 	return s.ScheduleAt(s.now+delay, fn)
 }
 
@@ -164,6 +168,7 @@ func (s *Simulator) ScheduleAt(t time.Duration, fn func()) *Event {
 	e := s.newEvent()
 	*e = Event{at: t, seq: s.seq, fn: fn, index: -1}
 	heap.Push(&s.queue, e)
+	//parcelvet:allow pooldiscipline(Event handles are arena-backed and valid for the simulator's lifetime; callers hold them only to Cancel)
 	return e
 }
 
@@ -183,6 +188,7 @@ func (s *Simulator) ScheduleArgAt(t time.Duration, fn func(any), arg any) *Event
 	e := s.newEvent()
 	*e = Event{at: t, seq: s.seq, afn: fn, arg: arg, index: -1}
 	heap.Push(&s.queue, e)
+	//parcelvet:allow pooldiscipline(Event handles are arena-backed and valid for the simulator's lifetime; callers hold them only to Cancel)
 	return e
 }
 

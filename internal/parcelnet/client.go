@@ -406,7 +406,13 @@ func (c *Client) Object(url string, timeout time.Duration) (mhtml.Part, error) {
 			requested = true
 			c.Fallbacks++
 			fw := c.fw
-			go fw.WriteJSON(TObjectRequest, ObjectRequest{URL: url})
+			go func() {
+				if err := fw.WriteJSON(TObjectRequest, ObjectRequest{URL: url}); err != nil {
+					// The read loop sees the broken connection and drives
+					// reconnection; here we only surface the failed request.
+					c.cfg.Logf("fallback object request for %s failed: %v", url, err)
+				}
+			}()
 		}
 		if time.Now().After(deadline) {
 			return mhtml.Part{}, fmt.Errorf("parcelnet: timeout waiting for %s", url)

@@ -161,7 +161,10 @@ func (p *Proxy) serve(conn net.Conn) {
 	defer s.teardown()
 	for {
 		if p.cfg.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(p.cfg.IdleTimeout))
+			if err := conn.SetReadDeadline(time.Now().Add(p.cfg.IdleTimeout)); err != nil {
+				p.cfg.Logf("set read deadline: %v", err)
+				return
+			}
 		}
 		typ, payload, err := ReadFrame(conn)
 		if err != nil {

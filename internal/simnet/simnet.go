@@ -190,6 +190,8 @@ func (n *Network) PathBetween(a, b *Host) PathParams {
 // continuation lives in typed fields: data segments and ACKs carry their
 // sender-side state directly (the allocation-free fast path), everything else
 // (handshake, FIN, datagrams) uses the generic arrive callback.
+//
+//parcelvet:pooled
 type packet struct {
 	net      *Network
 	from, to *Host
@@ -466,6 +468,8 @@ type sender struct {
 
 // outMsg is an in-flight application message, pooled per Network: it returns
 // to the free list when its last byte is delivered.
+//
+//parcelvet:pooled
 type outMsg struct {
 	size      int
 	remaining int // bytes not yet handed to the wire
@@ -579,6 +583,7 @@ func (c *Conn) Send(from *Host, size int, payload any, label string, onDelivered
 	// flight back to the initiator (TCP allows data right after SYN-ACK);
 	// only the initiator must wait for establishment.
 	if !c.established && from == c.initiator {
+		//parcelvet:allow pooldiscipline(ownership of msg is parked, not shared: the SYN-ACK continuation drains pendingDial exactly once and hands msg to the queue, which releases it on delivery)
 		c.pendingDial = append(c.pendingDial, func() {
 			s.queue = append(s.queue, msg)
 			s.pump()
