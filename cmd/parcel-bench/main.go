@@ -54,6 +54,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator and jitter seed")
 	jitter := flag.Duration("jitter", 2*time.Millisecond, "LTE per-packet jitter stddev")
 	parallelism := flag.Int("parallelism", 0, "simulation worker pool size (0 = one per CPU, 1 = serial)")
+	batch := flag.Int("batch", 16, "simulations multiplexed per worker (1 = legacy per-task engine)")
 	benchOut := flag.String("benchout", "BENCH_sweep.json", "output path for the benchsweep target")
 	hotpathOut := flag.String("hotpathout", "BENCH_hotpath.json", "output path for the benchhotpath target")
 	minSpeedup := flag.Float64("minspeedup", 0, "benchsweep fails if parallel speedup is below this (0 = no floor; use on multi-core CI)")
@@ -65,6 +66,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Jitter = *jitter
 	cfg.Parallelism = *parallelism
+	cfg.BatchSize = *batch
 
 	targets := flag.Args()
 	if len(targets) == 0 {
@@ -101,7 +103,7 @@ func main() {
 	// The timing targets run alone, before anything else competes for the
 	// machine.
 	if wantBench {
-		if err := benchSweep(os.Stdout, cfg, *benchOut, *minSpeedup); err != nil {
+		if err := benchSweep(os.Stdout, cfg, *batch, *benchOut, *minSpeedup); err != nil {
 			fmt.Fprintf(os.Stderr, "parcel-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -172,76 +174,102 @@ func render(w io.Writer, target string, cfg experiments.Config) {
 	}
 }
 
-// benchReport is the JSON shape the benchsweep target writes: the serial and
-// parallel wall-clock of one identical Sweep, and the derived speedup.
-type benchReport struct {
-	Pages           int     `json:"pages"`
-	Runs            int     `json:"runs"`
-	Schemes         int     `json:"schemes"`
-	Simulations     int     `json:"simulations"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	Parallelism     int     `json:"parallelism"`
-	SerialSeconds   float64 `json:"serial_seconds"`
-	ParallelSeconds float64 `json:"parallel_seconds"`
-	Speedup         float64 `json:"speedup"`
+// benchArm is one timed Sweep configuration: its worker-pool width, batch
+// size, and the GOMAXPROCS it ran under, alongside the wall clock.
+type benchArm struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	BatchSize  int     `json:"batch_size"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Seconds    float64 `json:"seconds"`
 }
 
-// benchSweep times the same DIR+PARCEL(IND) sweep serially and on the worker
-// pool, checks the outputs agree, and writes the report to path. A non-zero
-// minSpeedup turns the measured speedup into a gate: on a multi-core runner
-// the parallel sweep must actually be faster, not just bit-identical.
-func benchSweep(w io.Writer, cfg experiments.Config, path string, minSpeedup float64) error {
-	header(w, "benchsweep: serial vs parallel Sweep wall clock")
+// benchReport is the JSON shape the benchsweep target writes: the legacy
+// serial engine and the batched engine timed over one identical Sweep, and
+// the derived speedup.
+type benchReport struct {
+	Pages       int        `json:"pages"`
+	Runs        int        `json:"runs"`
+	Schemes     int        `json:"schemes"`
+	Simulations int        `json:"simulations"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	Arms        []benchArm `json:"arms"`
+	Speedup     float64    `json:"speedup"`
+}
+
+// benchSweep times the same DIR+PARCEL(IND) sweep on the legacy engine (one
+// private topology per task, one worker, batch size 1 — the pre-batching
+// code path) and on the batched engine (multiplexed simulations over shared
+// arenas and the exec-outcome cache, at least four workers), checks the
+// outputs agree bit for bit, and writes the report to path. A non-zero
+// minSpeedup turns the measured speedup into a gate.
+func benchSweep(w io.Writer, cfg experiments.Config, batch int, path string, minSpeedup float64) error {
+	header(w, "benchsweep: legacy serial engine vs batched engine wall clock")
 	schemes := []experiments.Scheme{
 		experiments.DIRScheme,
 		experiments.ParcelScheme(sched.ConfigIND),
 	}
-	// Warm once so page generation and lazy init don't skew the serial arm.
+	// Warm both engines once so page generation and lazy init don't skew
+	// either arm (one page only: the exec-outcome and artifact caches stay
+	// cold for the rest of the set, which the batched arm fills on its own
+	// clock like any real sweep would).
 	warm := cfg
 	warm.Pages = 1
 	warm.Runs = 1
 	warm.Parallelism = 1
+	warm.BatchSize = 1
+	experiments.Sweep(warm, schemes)
+	warm.BatchSize = batch
 	experiments.Sweep(warm, schemes)
 
 	serialCfg := cfg
 	serialCfg.Parallelism = 1
+	serialCfg.BatchSize = 1
 	t0 := time.Now()
 	serial := experiments.Sweep(serialCfg, schemes)
 	serialDur := time.Since(t0)
 
-	parallelCfg := cfg
-	if parallelCfg.Parallelism == 1 {
-		parallelCfg.Parallelism = 0 // forcing serial would time the same thing twice
+	batchCfg := cfg
+	batchCfg.BatchSize = batch
+	if batchCfg.Parallelism >= 0 && batchCfg.Parallelism <= 1 {
+		// The batched arm always fans out: at least four workers, so the
+		// gate exercises batching and parallel claim together even when the
+		// flag asked for the default or serial pool.
+		batchCfg.Parallelism = max(4, runner.Parallelism(0))
 	}
 	t1 := time.Now()
-	parallel := experiments.Sweep(parallelCfg, schemes)
-	parallelDur := time.Since(t1)
+	batched := experiments.Sweep(batchCfg, schemes)
+	batchedDur := time.Since(t1)
 
 	for i := range serial {
 		for name, run := range serial[i].Runs {
-			if !reflect.DeepEqual(parallel[i].Runs[name], run) {
-				return fmt.Errorf("parallel sweep diverged from serial on page %d scheme %s", i, name)
+			if !reflect.DeepEqual(batched[i].Runs[name], run) {
+				return fmt.Errorf("batched sweep diverged from serial on page %d scheme %s", i, name)
 			}
 		}
 	}
 
 	rep := benchReport{
-		Pages:           cfg.Pages,
-		Runs:            cfg.Runs,
-		Schemes:         len(schemes),
-		Simulations:     cfg.Pages * len(schemes) * cfg.Runs,
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		Parallelism:     runner.Parallelism(parallelCfg.Parallelism),
-		SerialSeconds:   serialDur.Seconds(),
-		ParallelSeconds: parallelDur.Seconds(),
+		Pages:       cfg.Pages,
+		Runs:        cfg.Runs,
+		Schemes:     len(schemes),
+		Simulations: cfg.Pages * len(schemes) * cfg.Runs,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Arms: []benchArm{
+			{Name: "serial-legacy", Workers: 1, BatchSize: 1,
+				GOMAXPROCS: runtime.GOMAXPROCS(0), Seconds: serialDur.Seconds()},
+			{Name: "batched", Workers: batchCfg.Parallelism, BatchSize: batch,
+				GOMAXPROCS: runtime.GOMAXPROCS(0), Seconds: batchedDur.Seconds()},
+		},
 	}
-	if parallelDur > 0 {
-		rep.Speedup = serialDur.Seconds() / parallelDur.Seconds()
+	if batchedDur > 0 {
+		rep.Speedup = serialDur.Seconds() / batchedDur.Seconds()
 	}
 	fmt.Fprintf(w, "%d simulations (%d pages x %d schemes x %d runs), GOMAXPROCS=%d\n",
 		rep.Simulations, rep.Pages, rep.Schemes, rep.Runs, rep.GOMAXPROCS)
-	fmt.Fprintf(w, "serial   (parallelism=1):  %8.3fs\n", rep.SerialSeconds)
-	fmt.Fprintf(w, "parallel (parallelism=%d): %8.3fs\n", rep.Parallelism, rep.ParallelSeconds)
+	for _, arm := range rep.Arms {
+		fmt.Fprintf(w, "%-14s (workers=%d batch=%2d): %8.3fs\n", arm.Name, arm.Workers, arm.BatchSize, arm.Seconds)
+	}
 	fmt.Fprintf(w, "speedup: %.2fx (outputs verified identical)\n", rep.Speedup)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -254,7 +282,7 @@ func benchSweep(w io.Writer, cfg experiments.Config, path string, minSpeedup flo
 	}
 	fmt.Fprintf(w, "wrote %s\n", path)
 	if minSpeedup > 0 && rep.Speedup < minSpeedup {
-		return fmt.Errorf("parallel sweep speedup %.2fx below required %.2fx (GOMAXPROCS=%d)",
+		return fmt.Errorf("batched sweep speedup %.2fx below required %.2fx (GOMAXPROCS=%d)",
 			rep.Speedup, minSpeedup, rep.GOMAXPROCS)
 	}
 	return nil

@@ -104,6 +104,11 @@ var hotPackages = map[string]bool{
 	"internal/cloudbrowser": true,
 	"internal/dirbrowser":   true,
 	"internal/spdybrowser":  true,
+	// The batch dispatch path: MapBatches workers and the multiplexed
+	// session loop schedule continuations on shared arenas, so stray
+	// closures there defeat the same pooling the simulation path protects.
+	"internal/runner":      true,
+	"internal/experiments": true,
 
 	// analysistest fixtures
 	"noclosure_hot":   true,
@@ -132,6 +137,7 @@ var pooledTypes = map[string][]string{
 	"internal/simnet":   {"packet", "outMsg"},
 	"internal/eventsim": {"Event"},
 	"internal/minijs":   {"frame"},
+	"internal/httpsim":  {"pendingReq"},
 }
 
 // pkgMatch reports whether the package path matches a table entry: exact

@@ -105,6 +105,15 @@ type Options struct {
 	FixedRandom bool
 	// MaxDepth bounds recursive discovery (iframes, document.write chains).
 	MaxDepth int
+	// ExecCache routes scripts through the process-wide execution-outcome
+	// cache (see execcache.go). Replay is validated to be bit-identical to
+	// execution; the batched sweep engine enables it, the legacy per-task
+	// path leaves it off.
+	ExecCache bool
+	// JSPools, when non-nil, supplies the interpreter's frame and
+	// call-argument free lists — shared across every engine of a
+	// simulation batch.
+	JSPools *minijs.Pools
 }
 
 // Engine loads one page.
@@ -144,6 +153,10 @@ type Engine struct {
 	curCtx  *scriptCtx
 	effects *[]func()
 
+	// rec collects the outcome of the script currently executing for the
+	// exec cache; nil outside a recording run.
+	rec *execRecorder
+
 	// DOMOps counts script-driven DOM mutations (instrumentation).
 	DOMOps int
 	// TimersSet counts setTimeout registrations.
@@ -162,7 +175,7 @@ func New(sim *eventsim.Simulator, fetch Fetcher, opt Options) *Engine {
 		sim:       sim,
 		fetch:     fetch,
 		opt:       opt,
-		in:        minijs.New(),
+		in:        minijs.NewWithPools(opt.JSPools),
 		requested: make(map[string]bool),
 		loaded:    make(map[string]bool),
 		results:   make(map[string]Result),
@@ -537,7 +550,12 @@ func (e *Engine) execCompiledThen(prog *minijs.Program, err error, baseURL strin
 		}
 		return
 	}
-	e.runBufferedThen(scriptCtx{baseURL: baseURL, blocking: blocking, depth: depth}, func() error {
+	ctx := scriptCtx{baseURL: baseURL, blocking: blocking, depth: depth}
+	if e.opt.ExecCache {
+		e.execCachedThen(prog, ctx, then)
+		return
+	}
+	e.runBufferedThen(ctx, func() error {
 		return e.in.Run(prog)
 	}, then)
 }

@@ -36,6 +36,9 @@ func (e *Engine) bindBuiltins() {
 		if fn == nil {
 			return minijs.Null(), fmt.Errorf("setTimeout second arg must be a function")
 		}
+		if e.rec != nil {
+			e.rec.cacheable = false // timer captures an engine-bound closure
+		}
 		ctx := *e.curCtx
 		e.addEffect(func() {
 			e.TimersSet++
@@ -60,6 +63,9 @@ func (e *Engine) bindBuiltins() {
 		if fn == nil {
 			return minijs.Null(), fmt.Errorf("onEvent third arg must be a function")
 		}
+		if e.rec != nil {
+			e.rec.cacheable = false // handler captures an engine-bound closure
+		}
 		key := event + "/" + target
 		e.addEffect(func() {
 			e.handlers[key] = append(e.handlers[key], fn)
@@ -74,7 +80,13 @@ func (e *Engine) bindBuiltins() {
 		if e.opt.FixedRandom {
 			// The web-page-replay rewrite (§7.3): a constant replaces the
 			// random so proxy and client derive identical URLs.
+			if e.rec != nil {
+				e.rec.needsFixedRandom = true
+			}
 			return minijs.Number(4), nil
+		}
+		if e.rec != nil {
+			e.rec.cacheable = false // consumes the simulation RNG stream
 		}
 		return minijs.Number(float64(e.sim.Rand().Intn(n))), nil
 	})
@@ -82,6 +94,9 @@ func (e *Engine) bindBuiltins() {
 		return minijs.Null(), nil
 	})
 	domOp := func(args []minijs.Value) (minijs.Value, error) {
+		if e.rec != nil {
+			e.rec.effects = append(e.rec.effects, execEffect{kind: effectDOM})
+		}
 		e.addEffect(func() { e.DOMOps++ })
 		return minijs.Null(), nil
 	}
@@ -91,6 +106,9 @@ func (e *Engine) bindBuiltins() {
 				return minijs.Null(), nil
 			}
 			html := args[0].Str()
+			if e.rec != nil {
+				e.rec.effects = append(e.rec.effects, execEffect{kind: effectWrite, s: html})
+			}
 			ctx := *e.curCtx
 			e.addEffect(func() {
 				root, ok := cachedHTMLString(html)
@@ -113,6 +131,9 @@ func (e *Engine) builtinFetch(args []minijs.Value, respectCtx bool) (minijs.Valu
 		return minijs.Null(), fmt.Errorf("fetch needs a URL")
 	}
 	raw := args[0].Str()
+	if e.rec != nil {
+		e.rec.effects = append(e.rec.effects, execEffect{kind: effectFetch, s: raw, respect: respectCtx})
+	}
 	ctx := *e.curCtx
 	url := htmlparse.ResolveURL(ctx.baseURL, raw)
 	if url == "" {

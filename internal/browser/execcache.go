@@ -1,0 +1,250 @@
+package browser
+
+import (
+	"sync"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/htmlparse"
+	"github.com/parcel-go/parcel/internal/minijs"
+)
+
+// The exec-outcome cache memoizes what running a compiled script *does* —
+// its op count, its buffered side effects in abstract form, and its net
+// global-scope reads and writes — so sweeps that execute the same generated
+// script body thousands of times (every scheme, round, and batch member
+// loading the same page) interpret it once and replay the outcome.
+//
+// Replay is only taken when it is provably bit-identical to execution:
+//
+//   - the recorded global read-set must match the replaying interpreter's
+//     pre-state exactly (scalars by value, builtins by kind), so any
+//     pre-state the script could branch on is re-validated;
+//   - the recorded op delta must fit the replaying interpreter's op budget,
+//     otherwise the script re-executes so the budget error surfaces at the
+//     same op it would have without the cache;
+//   - scripts that touch engine identity — setTimeout/onEvent (capture
+//     closures), rand() without FixedRandom (consumes the simulation RNG),
+//     non-scalar global writes, or any runtime error — are marked
+//     non-cacheable at record time and always re-execute.
+//
+// Effects are stored context-free (the raw fetch URL, the written markup)
+// and re-resolved against the replaying script context, so one recording
+// serves every base URL / blocking / depth combination.
+
+// effectKind enumerates the abstract side effects scripts can buffer.
+type effectKind int
+
+const (
+	effectFetch effectKind = iota // s = raw URL, respect = honor ctx.blocking
+	effectWrite                   // s = injected markup
+	effectDOM                     // one costed DOM mutation
+)
+
+type execEffect struct {
+	kind    effectKind
+	s       string
+	respect bool
+}
+
+// globalRead is one observed dynamic-global read: the value (and presence)
+// the recorded execution saw before writing the name itself.
+type globalRead struct {
+	name string
+	v    minijs.Value
+	ok   bool
+}
+
+// globalWrite is the final value a script left in a global, in first-write
+// order.
+type globalWrite struct {
+	name string
+	v    minijs.Value
+}
+
+// execOutcome is one recorded script execution. cacheable=false entries are
+// kept so repeat executions skip the recording bookkeeping.
+type execOutcome struct {
+	cacheable        bool
+	needsFixedRandom bool
+	ops              int
+	effects          []execEffect
+	reads            []globalRead
+	writes           []globalWrite
+}
+
+// maxExecEntries bounds the outcome cache the same way the artifact and
+// program caches are bounded: on overflow the whole epoch is dropped and
+// re-recorded on demand.
+const maxExecEntries = 4096
+
+var execCache struct {
+	sync.RWMutex
+	m map[*minijs.Program]*execOutcome
+}
+
+func loadOutcome(prog *minijs.Program) *execOutcome {
+	execCache.RLock()
+	ent := execCache.m[prog]
+	execCache.RUnlock()
+	return ent
+}
+
+func storeOutcome(prog *minijs.Program, ent *execOutcome) {
+	execCache.Lock()
+	if execCache.m == nil || len(execCache.m) >= maxExecEntries {
+		execCache.m = make(map[*minijs.Program]*execOutcome, 256)
+	}
+	// First recording wins; racing recorders of the same program produce
+	// interchangeable entries (replay re-validates reads either way).
+	if _, ok := execCache.m[prog]; !ok {
+		execCache.m[prog] = ent
+	}
+	execCache.Unlock()
+}
+
+// execRecorder collects one script execution's outcome while the real run
+// proceeds unchanged underneath it.
+type execRecorder struct {
+	cacheable        bool
+	needsFixedRandom bool
+	effects          []execEffect
+	reads            []globalRead
+	readSeen         map[string]bool
+	written          map[string]bool
+	writeOrder       []string
+}
+
+// execCachedThen runs prog through the outcome cache: replay on a validated
+// hit, plain execution on a non-cacheable entry or failed validation, and a
+// recording run on the first sighting. The caller has already accounted one
+// pending unit, exactly as for runBufferedThen.
+func (e *Engine) execCachedThen(prog *minijs.Program, ctx scriptCtx, then func()) {
+	if ent := loadOutcome(prog); ent != nil {
+		if ent.cacheable && e.replayOutcome(ent, ctx, then) {
+			return
+		}
+		e.runBufferedThen(ctx, func() error { return e.in.Run(prog) }, then)
+		return
+	}
+	e.recordThen(prog, ctx, then)
+}
+
+// replayOutcome applies a recorded outcome if the current interpreter state
+// validates. It mirrors real execution's timeline exactly: global writes and
+// op charging happen synchronously (scripts execute inline in virtual time),
+// effects apply after the modelled CPU cost on the engine core.
+func (e *Engine) replayOutcome(ent *execOutcome, ctx scriptCtx, then func()) bool {
+	if ent.needsFixedRandom && !e.opt.FixedRandom {
+		return false
+	}
+	for i := range ent.reads {
+		r := &ent.reads[i]
+		cur, ok := e.in.Global(r.name)
+		if ok != r.ok {
+			return false
+		}
+		if !ok {
+			continue
+		}
+		if r.v.IsScalar() {
+			if !r.v.Equals(cur) {
+				return false
+			}
+		} else if !r.v.SameKind(cur) {
+			return false
+		}
+	}
+	if !e.in.TryChargeOps(ent.ops) {
+		return false
+	}
+	for i := range ent.writes {
+		e.in.Bind(ent.writes[i].name, ent.writes[i].v)
+	}
+	cost := time.Duration(ent.ops) * e.opt.CPU.JSOp
+	e.task(cost, func() {
+		for i := range ent.effects {
+			ef := &ent.effects[i]
+			switch ef.kind {
+			case effectFetch:
+				url := htmlparse.ResolveURL(ctx.baseURL, ef.s)
+				if url == "" {
+					continue
+				}
+				blocking := false
+				if ef.respect {
+					blocking = ctx.blocking
+				}
+				e.requestObject(url, blocking, ctx.depth+1)
+			case effectWrite:
+				if root, ok := cachedHTMLString(ef.s); ok {
+					e.discoverFromTree(root, ctx.baseURL, ctx.blocking, ctx.depth+1)
+				}
+			case effectDOM:
+				e.DOMOps++
+			}
+		}
+		e.finish(ctx.blocking)
+		if then != nil {
+			then()
+		}
+	})
+	return true
+}
+
+// recordThen executes prog for real while collecting its outcome, then
+// stores the (possibly non-cacheable) entry.
+func (e *Engine) recordThen(prog *minijs.Program, ctx scriptCtx, then func()) {
+	rec := &execRecorder{
+		cacheable: true,
+		readSeen:  make(map[string]bool, 8),
+		written:   make(map[string]bool, 8),
+	}
+	e.in.SetGlobalHooks(
+		func(name string, v minijs.Value, ok bool) {
+			if rec.written[name] || rec.readSeen[name] {
+				return
+			}
+			rec.readSeen[name] = true
+			if v.Closure() != nil {
+				// Closures are engine-bound; a read of one cannot be
+				// validated across interpreters.
+				rec.cacheable = false
+				return
+			}
+			rec.reads = append(rec.reads, globalRead{name: name, v: v, ok: ok})
+		},
+		func(name string) {
+			if !rec.written[name] {
+				rec.written[name] = true
+				rec.writeOrder = append(rec.writeOrder, name)
+			}
+		})
+	e.rec = rec
+	before := e.in.Ops()
+	var runErr error
+	e.runBufferedThen(ctx, func() error {
+		runErr = e.in.Run(prog)
+		return runErr
+	}, then)
+	e.rec = nil
+	e.in.SetGlobalHooks(nil, nil)
+
+	ent := &execOutcome{
+		cacheable:        rec.cacheable && runErr == nil,
+		needsFixedRandom: rec.needsFixedRandom,
+		ops:              e.in.Ops() - before,
+		effects:          rec.effects,
+		reads:            rec.reads,
+	}
+	for _, name := range rec.writeOrder {
+		v, ok := e.in.Global(name)
+		if !ok || !v.IsScalar() {
+			// Deleted (impossible) or engine-bound final value: the write
+			// cannot be transplanted into another interpreter.
+			ent.cacheable = false
+			break
+		}
+		ent.writes = append(ent.writes, globalWrite{name: name, v: v})
+	}
+	storeOutcome(prog, ent)
+}

@@ -84,6 +84,8 @@ func NewClient(topo *scenario.Topology, cfg ClientConfig) *Client {
 	c.Engine = browser.New(topo.Sim, bundleFetcher{c}, browser.Options{
 		CPU:         cfg.CPU,
 		FixedRandom: cfg.FixedRandom,
+		ExecCache:   topo.ExecCache,
+		JSPools:     topo.JSPools,
 	})
 	return c
 }
@@ -186,11 +188,18 @@ func (c *Client) requestMissing(url string) {
 
 // Collect assembles the session metrics.
 func (c *Client) Collect() metrics.PageRun {
+	var col metrics.Collector
+	return c.CollectWith(&col)
+}
+
+// CollectWith is Collect reducing the trace through col's reusable scratch
+// (for batch engines that collect many sessions per worker).
+func (c *Client) CollectWith(col *metrics.Collector) metrics.PageRun {
 	run := metrics.PageRun{Scheme: "PARCEL", Page: c.topo.Page.Name}
 	onload, _ := c.Engine.OnloadNetAt()
 	// Control messages (the completion notification, seconds after the last
 	// object) are not page content; TLT and the energy window exclude them.
-	metrics.FromTrace(&run, c.topo.ClientTrace, onload, radio.DefaultLTE(), func(p trace.Packet) bool {
+	col.FromTrace(&run, c.topo.ClientTrace, onload, radio.DefaultLTE(), func(p trace.Packet) bool {
 		return !strings.HasPrefix(p.Label, ctlPrefix)
 	})
 	run.CPUActive = c.Engine.CPUActive()

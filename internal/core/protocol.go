@@ -49,13 +49,14 @@ type bundleMsg struct {
 	Parts  []sched.Item
 }
 
-// wireSize is the MHTML-encoded size of the bundle.
+// wireSize is the MHTML-encoded size of the bundle, summed per part so no
+// []mhtml.Part is materialized on the send path.
 func (b bundleMsg) wireSize() int {
-	parts := make([]mhtml.Part, len(b.Parts))
-	for i, it := range b.Parts {
-		parts[i] = mhtml.Part{URL: it.URL, ContentType: it.ContentType, Status: it.Status, Body: it.Body}
+	size := mhtml.EncodedSizeEmpty()
+	for _, it := range b.Parts {
+		size += mhtml.EncodedPartSize(it.URL, it.ContentType, len(it.Body))
 	}
-	return mhtml.EncodedSize(parts)
+	return size
 }
 
 // compressedWireSize models proxy-side compression/transcoding (§3): body

@@ -170,6 +170,8 @@ func (s *ProxySession) startPage(req pageRequest) {
 	s.engine = browser.New(topo.Sim, s.fetcher, browser.Options{
 		CPU:         cfg.CPU,
 		FixedRandom: cfg.FixedRandom,
+		ExecCache:   topo.ExecCache,
+		JSPools:     topo.JSPools,
 		Events: browser.Events{
 			OnLoad: func(at time.Duration) {
 				s.onloadSeen = true

@@ -98,6 +98,8 @@ func New(topo *scenario.Topology, opt Options) *Browser {
 	engine := browser.New(topo.Sim, &fetcher{topo: topo, c: client, issueCost: opt.RequestIssueCost}, browser.Options{
 		CPU:         opt.CPU,
 		FixedRandom: opt.FixedRandom,
+		ExecCache:   topo.ExecCache,
+		JSPools:     topo.JSPools,
 	})
 	return &Browser{Engine: engine, Client: client, topo: topo}
 }
@@ -112,9 +114,16 @@ func (b *Browser) Load() metrics.PageRun {
 // Collect assembles metrics for the session so far (callable after
 // interactions too).
 func (b *Browser) Collect() metrics.PageRun {
+	var col metrics.Collector
+	return b.CollectWith(&col)
+}
+
+// CollectWith is Collect reducing the trace through col's reusable scratch
+// (for batch engines that collect many sessions per worker).
+func (b *Browser) CollectWith(col *metrics.Collector) metrics.PageRun {
 	run := metrics.PageRun{Scheme: "DIR", Page: b.topo.Page.Name}
 	onload, _ := b.Engine.OnloadNetAt()
-	metrics.FromTrace(&run, b.topo.ClientTrace, onload, radio.DefaultLTE(), nil)
+	col.FromTrace(&run, b.topo.ClientTrace, onload, radio.DefaultLTE(), nil)
 	run.CPUActive = b.Engine.CPUActive()
 	run.HTTPRequests = b.Client.RequestsSent
 	run.ConnsOpened = b.Client.ConnsOpened

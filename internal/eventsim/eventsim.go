@@ -87,6 +87,28 @@ func (h *eventHeap) Pop() any {
 // simulator's whole lifetime.
 const eventBlockSize = 256
 
+// Pools recycles event arena blocks across simulators. A batch engine that
+// runs many page simulations per worker hands every simulator the same Pools
+// so finished runs return their blocks for the next run to carve, instead of
+// re-allocating the arena per page. Pools is owned by one goroutine at a
+// time (the worker driving its batch); it is not safe for concurrent use.
+type Pools struct {
+	blocks [][]Event
+}
+
+// NewPools returns an empty block pool.
+func NewPools() *Pools { return &Pools{} }
+
+func (p *Pools) getBlock() []Event {
+	if n := len(p.blocks); n > 0 {
+		b := p.blocks[n-1]
+		p.blocks[n-1] = nil
+		p.blocks = p.blocks[:n-1]
+		return b
+	}
+	return make([]Event, eventBlockSize)
+}
+
 // Simulator owns the virtual clock and the pending-event queue.
 // The zero value is not usable; construct with New.
 //
@@ -104,17 +126,24 @@ type Simulator struct {
 	fired  uint64
 	inStep bool
 
-	arena []Event // current arena block; see eventBlockSize
+	arena  []Event   // current arena block; see eventBlockSize
+	blocks [][]Event // every block carved this run, for Release
+	pools  *Pools    // shared block pool; nil for a private simulator
 
 	owner int64 // owning goroutine id; maintained only under -tags simdebug
 }
 
 // New returns a simulator whose clock starts at zero and whose random source
 // is seeded with seed.
-func New(seed int64) *Simulator {
+func New(seed int64) *Simulator { return NewWithPools(seed, nil) }
+
+// NewWithPools is New drawing event arena blocks from p (nil for a private
+// arena). Pair with Release to return the blocks when the run is over.
+func NewWithPools(seed int64, p *Pools) *Simulator {
 	s := &Simulator{
 		rng:   rand.New(rand.NewSource(seed)),
 		queue: make(eventHeap, 0, eventBlockSize),
+		pools: p,
 	}
 	s.claimOwner()
 	return s
@@ -123,11 +152,41 @@ func New(seed int64) *Simulator {
 // newEvent carves an event out of the arena.
 func (s *Simulator) newEvent() *Event {
 	if len(s.arena) == 0 {
-		s.arena = make([]Event, eventBlockSize)
+		var b []Event
+		if s.pools != nil {
+			b = s.pools.getBlock()
+		} else {
+			b = make([]Event, eventBlockSize)
+		}
+		s.blocks = append(s.blocks, b)
+		s.arena = b
 	}
 	e := &s.arena[0]
 	s.arena = s.arena[1:]
 	return e
+}
+
+// Release returns every arena block this simulator carved to its shared
+// pool. It is only legal once the simulation is over: the event queue must
+// be drained, and the caller must have dropped every outstanding *Event
+// handle — blocks are zeroed and handed to the next simulator, so a retained
+// handle would alias a future run's events. A no-op for pool-less
+// simulators.
+func (s *Simulator) Release() {
+	if s.pools == nil {
+		return
+	}
+	if len(s.queue) != 0 {
+		panic(fmt.Sprintf("eventsim: Release with %d events still queued", len(s.queue)))
+	}
+	for _, b := range s.blocks {
+		for i := range b {
+			b[i] = Event{}
+		}
+		s.pools.blocks = append(s.pools.blocks, b)
+	}
+	s.blocks = nil
+	s.arena = nil
 }
 
 // Now returns the current virtual time.

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/parcel-go/parcel/internal/sched"
+)
+
+// TestBatchMatchesSerial pins the batch engine to the legacy engine: every
+// (batch size, parallelism) combination must reproduce the BatchSize == 1
+// serial sweep bit for bit. This is the determinism contract of batch.go —
+// shared arenas, the exec-outcome cache, and round-robin multiplexing may
+// change where time and memory go, never what the figures say.
+func TestBatchMatchesSerial(t *testing.T) {
+	cfg := goldenConfig()
+	schemes := []Scheme{DIRScheme, ParcelScheme(sched.ConfigIND), ParcelScheme(sched.Config512K)}
+	cfg.BatchSize = 1
+	want := Sweep(cfg, schemes)
+	for _, batch := range []int{1, 4, 16} {
+		for _, par := range []int{1, 4} {
+			c := cfg
+			c.BatchSize = batch
+			c.Parallelism = par
+			if got := Sweep(c, schemes); !reflect.DeepEqual(got, want) {
+				t.Errorf("batch %d × parallelism %d: sweep differs from the serial legacy engine", batch, par)
+			}
+		}
+	}
+}
+
+// TestBatchRaceStress repeats parallel batched sweeps so the race detector
+// sees the cross-worker surfaces — the process-wide exec-outcome cache, the
+// webgen page cache, and the artifact caches — under contention, and so
+// repeated reuse of each worker's arenas (events, packets, frames,
+// recorders) across batches stays deterministic. Run with -race in CI.
+func TestBatchRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	cfg := goldenConfig()
+	cfg.Pages = 4
+	cfg.Parallelism = 4
+	cfg.BatchSize = 4
+	schemes := []Scheme{DIRScheme, ParcelScheme(sched.ConfigIND)}
+	want := Sweep(cfg, schemes)
+	for i := 0; i < 3; i++ {
+		if got := Sweep(cfg, schemes); !reflect.DeepEqual(got, want) {
+			t.Fatalf("sweep %d diverged across arena reuse", i)
+		}
+	}
+}

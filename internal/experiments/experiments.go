@@ -10,7 +10,6 @@ import (
 	"github.com/parcel-go/parcel/internal/core"
 	"github.com/parcel-go/parcel/internal/dirbrowser"
 	"github.com/parcel-go/parcel/internal/metrics"
-	"github.com/parcel-go/parcel/internal/runner"
 	"github.com/parcel-go/parcel/internal/scenario"
 	"github.com/parcel-go/parcel/internal/sched"
 	"github.com/parcel-go/parcel/internal/stats"
@@ -37,6 +36,11 @@ type Config struct {
 	// from (Seed, round) alone, so results are bit-for-bit identical at any
 	// parallelism level.
 	Parallelism int
+	// BatchSize is how many page simulations one worker multiplexes through
+	// its shared event loop and arena pools (see batch.go): 0 (the default)
+	// means 16, 1 forces the legacy one-topology-per-task engine. Results
+	// are bit-for-bit identical at any batch size.
+	BatchSize int
 }
 
 // DefaultConfig returns the standard evaluation configuration.
@@ -56,6 +60,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Jitter > 0 {
 		c.Scenario.LTEJitter = c.Jitter
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
 	}
 	return c
 }
@@ -125,11 +132,11 @@ func medianReduce(runs []metrics.PageRun) metrics.PageRun {
 // MedianRun loads a page cfg.Runs times with different jitter seeds and
 // returns the per-metric medians (the paper's median-of-rounds reduction,
 // §7.1), along with one representative run for trace-level detail. Rounds
-// run on the cfg.Parallelism worker pool.
+// run batched on the cfg.Parallelism worker pool.
 func MedianRun(page webgen.Page, s Scheme, cfg Config) metrics.PageRun {
 	cfg = cfg.withDefaults()
-	runs := runner.Map(cfg.Parallelism, cfg.Runs, func(r int) metrics.PageRun {
-		return RunOnce(page, s, cfg, roundSeed(cfg, r))
+	runs := runTasks(cfg, cfg.Runs, func(r int) batchTask {
+		return batchTask{page: page, s: s, seed: roundSeed(cfg, r)}
 	})
 	return medianReduce(runs)
 }
@@ -141,19 +148,23 @@ type PageResult struct {
 }
 
 // Sweep runs every scheme over every page. It fans every (page, scheme,
-// round) simulation out as one task on the cfg.Parallelism worker pool —
-// the flattening exposes the evaluation's full width (pages × schemes ×
-// rounds independent topologies) to the pool — and then reduces rounds to
-// medians in index order, so the result is identical to the serial
-// page-by-page loop at any parallelism level.
+// round) simulation out as one task of the batched engine — the flattening
+// exposes the evaluation's full width (pages × schemes × rounds independent
+// topologies) to the cfg.Parallelism worker pool, and each worker
+// multiplexes cfg.BatchSize of those simulations through shared arena pools
+// — and then reduces rounds to medians in index order, so the result is
+// identical to the serial page-by-page loop at any parallelism level and
+// any batch size.
 func Sweep(cfg Config, schemes []Scheme) []PageResult {
 	cfg = cfg.withDefaults()
 	pages := cfg.PageSet()
 	nSchemes, nRuns := len(schemes), cfg.Runs
-	runs := runner.Map(cfg.Parallelism, len(pages)*nSchemes*nRuns, func(i int) metrics.PageRun {
-		page := pages[i/(nSchemes*nRuns)]
-		s := schemes[i/nRuns%nSchemes]
-		return RunOnce(page, s, cfg, roundSeed(cfg, i%nRuns))
+	runs := runTasks(cfg, len(pages)*nSchemes*nRuns, func(i int) batchTask {
+		return batchTask{
+			page: pages[i/(nSchemes*nRuns)],
+			s:    schemes[i/nRuns%nSchemes],
+			seed: roundSeed(cfg, i%nRuns),
+		}
 	})
 	out := make([]PageResult, 0, len(pages))
 	for pi, page := range pages {

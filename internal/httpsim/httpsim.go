@@ -179,8 +179,15 @@ type Client struct {
 	// randomized per process, and iterating it to pick an eviction victim (or
 	// to close connections) made simulation runs nondeterministic.
 	poolList   []*pool
-	queue      []pendingReq
+	queue      []*pendingReq
 	totalConns int
+
+	// reqArena/reqFree recycle pendingReq structs through the same
+	// block-arena + free-list scheme simnet uses for packets: the queue
+	// churns once per request-dispatch opportunity, and without pooling it
+	// dominated the client's steady-state allocations.
+	reqArena []pendingReq
+	reqFree  *pendingReq
 
 	// RequestsSent counts requests put on the wire.
 	RequestsSent int
@@ -208,6 +215,10 @@ type pool struct {
 	domain  string
 	conns   []*pconn
 	dialing int // connections in handshake
+	// pendingCap is drain-pass scratch: capacity already being created for
+	// this domain at the start of the pass. Reset by every drain; replaces a
+	// per-drain map allocation.
+	pendingCap int
 }
 
 type pconn struct {
@@ -217,12 +228,43 @@ type pconn struct {
 	current func(Response, time.Duration)
 }
 
+//parcelvet:pooled
 type pendingReq struct {
 	domain string // pool key (prefixed for TLS)
 	origin string // logical domain
 	tls    bool
 	req    Request
 	cb     func(Response, time.Duration)
+
+	nextFree *pendingReq
+	pooled   bool // on the free list; double-release check under -tags simdebug
+}
+
+// reqBlockSize is how many pendingReq structs one arena block holds.
+const reqBlockSize = 64
+
+// newReq carves a pendingReq off the free list or the arena.
+func (c *Client) newReq() *pendingReq {
+	if pr := c.reqFree; pr != nil {
+		c.reqFree = pr.nextFree
+		pr.nextFree = nil
+		pr.pooled = false
+		return pr
+	}
+	if len(c.reqArena) == 0 {
+		c.reqArena = make([]pendingReq, reqBlockSize)
+	}
+	pr := &c.reqArena[0]
+	c.reqArena = c.reqArena[1:]
+	return pr
+}
+
+// releaseReq returns a dispatched request to the free list, dropping its
+// callback and request references.
+func (c *Client) releaseReq(pr *pendingReq) {
+	checkReqFree(pr)
+	*pr = pendingReq{nextFree: c.reqFree, pooled: true}
+	c.reqFree = pr
 }
 
 // Do issues req and invokes cb with the response. Connection management
@@ -237,7 +279,9 @@ func (c *Client) Do(req Request, cb func(Response, time.Duration)) {
 		key = "tls:" + domain
 	}
 	start := func(time.Duration) {
-		c.queue = append(c.queue, pendingReq{domain: key, origin: domain, tls: tls, req: req, cb: cb})
+		pr := c.newReq()
+		pr.domain, pr.origin, pr.tls, pr.req, pr.cb = key, domain, tls, req, cb
+		c.queue = append(c.queue, pr)
 		c.drain()
 	}
 	if c.resolver != nil {
@@ -255,26 +299,32 @@ func (c *Client) Do(req Request, cb func(Response, time.Duration)) {
 // drain pass never dials more connections than a domain has waiting
 // requests.
 func (c *Client) drain() {
-	queue := c.queue
-	c.queue = nil
 	// Capacity being created per domain in this pass.
-	pendingCapacity := make(map[string]int, len(c.poolList))
 	for _, p := range c.poolList {
-		pendingCapacity[p.domain] = p.dialing
+		p.pendingCap = p.dialing
 	}
-	var remaining []pendingReq
-	for _, pr := range queue {
-		if c.tryIssue(pr, pendingCapacity) {
+	// In-place compaction: issued requests are released back to the free
+	// list, waiting ones slide down, and the tail is nil'd so the backing
+	// array does not pin released structs. No per-drain allocation.
+	kept := 0
+	for i := 0; i < len(c.queue); i++ {
+		pr := c.queue[i]
+		if c.tryIssue(pr) {
+			c.releaseReq(pr)
 			continue
 		}
-		remaining = append(remaining, pr)
+		c.queue[kept] = pr
+		kept++
 	}
-	c.queue = append(remaining, c.queue...)
+	for i := kept; i < len(c.queue); i++ {
+		c.queue[i] = nil
+	}
+	c.queue = c.queue[:kept]
 }
 
 // tryIssue runs pr on an idle connection, or arranges capacity for it.
 // It returns true only when the request was actually issued.
-func (c *Client) tryIssue(pr pendingReq, pendingCapacity map[string]int) bool {
+func (c *Client) tryIssue(pr *pendingReq) bool {
 	p := c.pools[pr.domain]
 	if p == nil {
 		p = &pool{domain: pr.domain}
@@ -289,8 +339,8 @@ func (c *Client) tryIssue(pr pendingReq, pendingCapacity map[string]int) bool {
 	}
 	// Use capacity already being created (a handshake in flight) before
 	// dialing more.
-	if pendingCapacity[pr.domain] > 0 {
-		pendingCapacity[pr.domain]--
+	if p.pendingCap > 0 {
+		p.pendingCap--
 		return false
 	}
 	if len(p.conns) >= c.maxConns {
@@ -365,7 +415,7 @@ func (c *Client) dial(p *pool, origin string, tls bool) {
 	})
 }
 
-func (c *Client) issue(pc *pconn, pr pendingReq) {
+func (c *Client) issue(pc *pconn, pr *pendingReq) {
 	pc.busy = true
 	pc.current = pr.cb
 	c.RequestsSent++

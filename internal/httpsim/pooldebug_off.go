@@ -1,0 +1,9 @@
+//go:build !simdebug
+
+package httpsim
+
+// checkReqFree enforces the pendingReq pool ownership contract (no double
+// frees). In normal builds it compiles to nothing; build with -tags simdebug
+// to make a double free panic (see pooldebug_on.go).
+
+func checkReqFree(*pendingReq) {}

@@ -1,0 +1,17 @@
+//go:build simdebug
+
+package httpsim
+
+import "fmt"
+
+// With -tags simdebug every release checks the pooled flag, so returning a
+// pendingReq to the free list twice — which would silently alias two queued
+// requests onto one object — panics at the offending call site. This mirrors
+// the simnet packet/outMsg checks: free in normal builds, loud in debug
+// builds.
+
+func checkReqFree(pr *pendingReq) {
+	if pr.pooled {
+		panic(fmt.Sprintf("httpsim: double free of pendingReq (url %q)", pr.req.URL))
+	}
+}

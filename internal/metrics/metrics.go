@@ -57,6 +57,22 @@ type PageRun struct {
 // excludes its control messages so that — like the paper's metrics — both
 // TLT and the energy window end with the page's objects.
 func FromTrace(r *PageRun, rec *trace.Recorder, onload time.Duration, params radio.Params, keep func(trace.Packet) bool) {
+	var c Collector
+	c.FromTrace(r, rec, onload, params, keep)
+}
+
+// Collector is a reusable FromTrace: it keeps the activity scratch buffer
+// and the radio simulator's interval scratch alive between runs, so a batch
+// engine collecting many pages per worker pays the radio-simulation
+// allocations once instead of per page. The zero value is ready to use; a
+// Collector is not safe for concurrent use.
+type Collector struct {
+	acts []radio.Activity
+	rsim radio.Sim
+}
+
+// FromTrace is the package-level FromTrace against the collector's scratch.
+func (c *Collector) FromTrace(r *PageRun, rec *trace.Recorder, onload time.Duration, params radio.Params, keep func(trace.Packet) bool) {
 	r.OLT = onload
 	if keep == nil {
 		keep = func(trace.Packet) bool { return true }
@@ -73,12 +89,13 @@ func FromTrace(r *PageRun, rec *trace.Recorder, onload time.Duration, params rad
 	// completion notification, seconds after the page is done) is outside
 	// the page-load measurement for every scheme alike.
 	horizon := r.TLT
-	acts := make([]radio.Activity, 0, rec.Len())
+	acts := c.acts[:0]
 	rec.Each(func(p trace.Packet) {
 		if p.At <= horizon {
 			acts = append(acts, radio.Activity{At: p.At, Bytes: p.Size})
 		}
 	})
-	r.Radio = radio.Simulate(acts, params, horizon)
+	c.acts = acts
+	r.Radio = c.rsim.Simulate(acts, params, horizon)
 	r.RadioJ = r.Radio.TotalEnergy
 }

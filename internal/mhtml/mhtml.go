@@ -124,18 +124,31 @@ func Decode(data []byte) ([]Part, error) {
 // EncodedSize returns the wire size of a bundle without materializing it —
 // the simulator uses this to size transfers while carrying parts in memory.
 func EncodedSize(parts []Part) int {
-	// Top-level header.
-	size := len("Content-Type: multipart/related; boundary=\"\"\r\n\r\n") + len(Boundary)
+	size := EncodedSizeEmpty()
 	for _, p := range parts {
-		size += len("--"+Boundary+"\r\n") +
-			len("Content-Location: \r\n") + len(p.URL) +
-			len("Content-Type: \r\n") + len(p.ContentType) +
-			len("X-Status: 200\r\n") +
-			len("Content-Length: \r\n") + numWidth(len(p.Body)) +
-			len("\r\n") + len(p.Body) + len("\r\n")
+		size += EncodedPartSize(p.URL, p.ContentType, len(p.Body))
 	}
-	size += len("--" + Boundary + "--\r\n")
 	return size
+}
+
+// EncodedSizeEmpty returns the wire size of a bundle with no parts: the
+// top-level header plus the closing boundary.
+func EncodedSizeEmpty() int {
+	return len("Content-Type: multipart/related; boundary=\"\"\r\n\r\n") + len(Boundary) +
+		len("--"+Boundary+"--\r\n")
+}
+
+// EncodedPartSize returns the wire-size contribution of one part, so callers
+// holding parts in another representation can size a bundle without building
+// a []Part. The status line is fixed-width, so only the URL, content type,
+// and body length matter.
+func EncodedPartSize(url, contentType string, bodyLen int) int {
+	return len("--"+Boundary+"\r\n") +
+		len("Content-Location: \r\n") + len(url) +
+		len("Content-Type: \r\n") + len(contentType) +
+		len("X-Status: 200\r\n") +
+		len("Content-Length: \r\n") + numWidth(bodyLen) +
+		len("\r\n") + bodyLen + len("\r\n")
 }
 
 func numWidth(n int) int {

@@ -56,6 +56,14 @@ func Namespace(m map[string]Value) Value { return Value{kind: kindNamespace, spa
 // IsNull reports whether v is null.
 func (v Value) IsNull() bool { return v.kind == kindNull }
 
+// IsScalar reports whether v is null, bool, number or string — a value that
+// carries no reference to any interpreter instance and can therefore be
+// transplanted between interpreters (the exec-outcome cache relies on this).
+func (v Value) IsScalar() bool { return v.kind <= kindString }
+
+// SameKind reports whether v and o hold the same kind of value.
+func (v Value) SameKind(o Value) bool { return v.kind == o.kind }
+
 // Truthy follows JavaScript-like coercion.
 func (v Value) Truthy() bool {
 	switch v.kind {
@@ -163,6 +171,20 @@ const maxPooledSlots = 16
 // reference interpreter in the test suite applies the identical bound.
 const maxCallDepth = 2000
 
+// Pools holds the interpreter's recyclable allocations: non-escaping frames
+// by slot count and call-argument slices. A Pools may be shared by every
+// Interp of a simulation batch — frames and argument slices are only held
+// during a synchronous script execution, never across simulator events, so
+// interleaved simulations on one goroutine cannot observe each other's
+// frames. Pools is not safe for concurrent use across goroutines.
+type Pools struct {
+	framePool [maxPooledSlots + 1][]*frame
+	argFree   [][]Value
+}
+
+// NewPools returns an empty pool set.
+func NewPools() *Pools { return &Pools{} }
+
 // Interp executes programs against host-bound builtins. One Interp holds the
 // global scope of one page's scripting context; every script and handler of
 // the page runs in it.
@@ -172,11 +194,16 @@ type Interp struct {
 	maxOps  int
 	depth   int // live CallClosure nesting
 
-	// framePool recycles non-escaping frames by slot count; argFree
-	// recycles call-argument slices. Both follow the simnet/trace free-list
-	// pattern: owner-checked under -tags simdebug, invisible otherwise.
-	framePool [maxPooledSlots + 1][]*frame
-	argFree   [][]Value
+	// pools recycles frames and call-argument slices, following the
+	// simnet/trace free-list pattern: owner-checked under -tags simdebug,
+	// invisible otherwise. Private per Interp unless shared via NewWithPools.
+	pools *Pools
+
+	// onGlobalRead/onGlobalWrite observe the dynamic-global fallback paths
+	// (identifier lookup and assignment that resolve to the globals map).
+	// They are nil except while the exec-outcome cache records a script.
+	onGlobalRead  func(name string, v Value, ok bool)
+	onGlobalWrite func(name string)
 }
 
 // DefaultMaxOps bounds total statements+expressions evaluated per Interp,
@@ -184,8 +211,15 @@ type Interp struct {
 const DefaultMaxOps = 5_000_000
 
 // New creates an interpreter with an empty global scope.
-func New() *Interp {
-	return &Interp{globals: make(map[string]Value, 16), maxOps: DefaultMaxOps}
+func New() *Interp { return NewWithPools(nil) }
+
+// NewWithPools creates an interpreter drawing frames and argument slices
+// from p. A nil p allocates a private pool set.
+func NewWithPools(p *Pools) *Interp {
+	if p == nil {
+		p = NewPools()
+	}
+	return &Interp{globals: make(map[string]Value, 16), maxOps: DefaultMaxOps, pools: p}
 }
 
 // Bind installs a global builtin or value.
@@ -207,6 +241,30 @@ func (in *Interp) Ops() int { return in.ops }
 
 // ResetOps zeroes the op counter (e.g. per measurement phase).
 func (in *Interp) ResetOps() { in.ops = 0 }
+
+// TryChargeOps consumes n evaluation steps from the op budget without
+// executing anything — the exec-outcome cache uses it to bill a replayed
+// script exactly what its recorded execution cost. It reports false (charging
+// nothing) when n does not fit the remaining budget, in which case the caller
+// must fall back to real execution so the budget error surfaces at the same
+// op it would have without the cache.
+func (in *Interp) TryChargeOps(n int) bool {
+	if n < 0 || in.ops+n > in.maxOps {
+		return false
+	}
+	in.ops += n
+	return true
+}
+
+// SetGlobalHooks installs (or, with nil arguments, removes) observers on the
+// dynamic-global fallback paths: onRead fires when an identifier lookup falls
+// through to the globals map, onWrite when an assignment or top-level var
+// declaration writes it. The exec-outcome cache uses them to collect a
+// script's global read- and write-sets while recording.
+func (in *Interp) SetGlobalHooks(onRead func(name string, v Value, ok bool), onWrite func(name string)) {
+	in.onGlobalRead = onRead
+	in.onGlobalWrite = onWrite
+}
 
 // errReturn carries a return value up the stack.
 type errReturn struct{ v Value }
@@ -268,9 +326,9 @@ func (in *Interp) step() error {
 func (in *Interp) newFrame(sc *scopeInfo, parent *frame) *frame {
 	n := len(sc.names)
 	if n <= maxPooledSlots {
-		if l := in.framePool[n]; len(l) > 0 {
+		if l := in.pools.framePool[n]; len(l) > 0 {
 			f := l[len(l)-1]
-			in.framePool[n] = l[:len(l)-1]
+			in.pools.framePool[n] = l[:len(l)-1]
 			f.pooled = false
 			f.parent = parent
 			return f
@@ -302,7 +360,7 @@ func (in *Interp) freeFrame(f *frame, sc *scopeInfo) {
 	for i := range f.slots {
 		f.slots[i] = Value{kind: kindUnset}
 	}
-	in.framePool[n] = append(in.framePool[n], f)
+	in.pools.framePool[n] = append(in.pools.framePool[n], f)
 }
 
 // getArgs pops a call-argument slice off the free list (or allocates one).
@@ -310,9 +368,9 @@ func (in *Interp) getArgs(n int) []Value {
 	if n == 0 {
 		return nil
 	}
-	if l := len(in.argFree); l > 0 {
-		if s := in.argFree[l-1]; cap(s) >= n {
-			in.argFree = in.argFree[:l-1]
+	if l := len(in.pools.argFree); l > 0 {
+		if s := in.pools.argFree[l-1]; cap(s) >= n {
+			in.pools.argFree = in.pools.argFree[:l-1]
 			return s[:n]
 		}
 	}
@@ -332,7 +390,7 @@ func (in *Interp) putArgs(s []Value) {
 	for i := range s {
 		s[i] = Value{}
 	}
-	in.argFree = append(in.argFree, s[:0])
+	in.pools.argFree = append(in.pools.argFree, s[:0])
 }
 
 // lookup resolves an identifier through its compiled candidate bindings:
@@ -350,6 +408,9 @@ func (in *Interp) lookup(x *Ident, f *frame) (Value, bool) {
 		}
 	}
 	v, ok := in.globals[x.Name]
+	if in.onGlobalRead != nil {
+		in.onGlobalRead(x.Name, v, ok)
+	}
 	return v, ok
 }
 
@@ -365,6 +426,9 @@ func (in *Interp) assign(cands []slotRef, name string, v Value, f *frame) {
 			fr.slots[c.slot] = v
 			return
 		}
+	}
+	if in.onGlobalWrite != nil {
+		in.onGlobalWrite(name)
 	}
 	in.globals[name] = v
 }
@@ -408,6 +472,9 @@ func (in *Interp) exec(s Stmt, f *frame) error {
 		if s.slot >= 0 {
 			f.slots[s.slot] = v
 		} else {
+			if in.onGlobalWrite != nil {
+				in.onGlobalWrite(s.Name)
+			}
 			in.globals[s.Name] = v
 		}
 		return nil

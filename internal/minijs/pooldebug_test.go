@@ -55,7 +55,7 @@ func TestEscapingFrameFreeIsNoop(t *testing.T) {
 	f := in.newFrame(sc, nil)
 	in.freeFrame(f, sc)
 	in.freeFrame(f, sc) // must not panic
-	if len(in.framePool[1]) != 0 {
+	if len(in.pools.framePool[1]) != 0 {
 		t.Fatal("escaping frame entered the pool")
 	}
 }

@@ -252,10 +252,10 @@ func TestLoopFramesAreRecycled(t *testing.T) {
 	if err := in.Run(prog); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(in.framePool[1]); got != 2 {
+	if got := len(in.pools.framePool[1]); got != 2 {
 		t.Fatalf("1-slot frame pool holds %d frames after loop, want 2 (body reused + init)", got)
 	}
-	for _, f := range in.framePool[1] {
+	for _, f := range in.pools.framePool[1] {
 		for i, v := range f.slots {
 			if v.kind != kindUnset {
 				t.Fatalf("pooled frame slot %d not reset: kind %d", i, v.kind)
@@ -295,7 +295,7 @@ func TestEscapingFramesAreNotRecycled(t *testing.T) {
 	// mk's param frames hold the captured n and must stay out of the pool.
 	// (The returned closures' own 0-slot call frames capture nothing and
 	// may be recycled — only the defining scope escapes.)
-	if got := len(in.framePool[1]); got != 0 {
+	if got := len(in.pools.framePool[1]); got != 0 {
 		t.Fatalf("1-slot pool holds %d frames, want 0 (mk's frames escape)", got)
 	}
 }

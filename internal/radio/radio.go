@@ -35,7 +35,10 @@ const (
 	LongDRX
 )
 
-var stateNames = [...]string{"IDLE", "PROMO", "CR", "SDRX", "LDRX"}
+// NumStates is the number of RRC states (array-indexed accounting).
+const NumStates = 5
+
+var stateNames = [NumStates]string{"IDLE", "PROMO", "CR", "SDRX", "LDRX"}
 
 func (s State) String() string {
 	if s < 0 || int(s) >= len(stateNames) {
@@ -123,6 +126,24 @@ func (p Params) tailTotal() time.Duration {
 	return p.CRTail + p.ShortDRXTail + p.LongDRXTail
 }
 
+// power returns the state's power draw in milliwatts. A switch instead of a
+// lookup map keeps the per-simulation integration allocation-free.
+func (p Params) power(s State) float64 {
+	switch s {
+	case Idle:
+		return p.PowerIdle
+	case Promotion:
+		return p.PowerPromo
+	case CR:
+		return p.PowerCR
+	case ShortDRX:
+		return p.PowerShortDRX
+	case LongDRX:
+		return p.PowerLongDRX
+	}
+	return 0
+}
+
 // Activity is one unit of network activity at the device: a packet (or packet
 // burst) of Bytes at virtual time At. Direction does not matter for RRC
 // occupancy; both send and receive require CR.
@@ -146,20 +167,31 @@ type Report struct {
 	Intervals []Interval
 
 	// EnergyByState is integrated energy per state in joules, excluding the
-	// per-byte transfer energy, which is reported separately.
-	EnergyByState map[State]float64
+	// per-byte transfer energy, which is reported separately. Indexed by
+	// State; an array instead of a map so a Report costs no per-simulation
+	// allocations.
+	EnergyByState [NumStates]float64
 	// TransferEnergy is the marginal per-byte energy in joules.
 	TransferEnergy float64
 	// TotalEnergy is the sum of all state energies plus transfer energy.
 	TotalEnergy float64
-	// TimeInState is total occupancy per state.
-	TimeInState map[State]time.Duration
+	// TimeInState is total occupancy per state, indexed by State.
+	TimeInState [NumStates]time.Duration
 	// Transitions counts state changes between CR and the DRX states in
 	// either direction (the quantity Figure 7a reports: 22 for DIR vs 7 for
 	// PARCEL on the example page).
 	Transitions int
 	// Horizon is the end of the simulated window.
 	Horizon time.Duration
+}
+
+// Sim is a reusable RRC simulator: it keeps the activity sort buffer and the
+// interval accumulation backing across runs, so a sweep that simulates
+// thousands of traces re-walks the same scratch instead of reallocating it.
+// The zero value is ready to use; Sim is not safe for concurrent use.
+type Sim struct {
+	acts []Activity
+	w    simWriter
 }
 
 // simWriter accumulates state intervals in time order, merging adjacent
@@ -207,19 +239,26 @@ func (w *simWriter) emitTail(p Params, crEnd, limit time.Duration) {
 // 0 it extends to the end of the natural demotion tail after the last
 // activity.
 func Simulate(activities []Activity, p Params, horizon time.Duration) Report {
+	var s Sim
+	return s.Simulate(activities, p, horizon)
+}
+
+// Simulate is the scratch-reusing form of the package-level Simulate: the
+// activity copy and the interval walk run in s's retained backing arrays.
+// The returned Report carries an exact-size copy of the intervals, so it
+// stays valid after the next run reuses the scratch.
+func (s *Sim) Simulate(activities []Activity, p Params, horizon time.Duration) Report {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	acts := append([]Activity(nil), activities...)
+	s.acts = append(s.acts[:0], activities...)
+	acts := s.acts
 	sort.SliceStable(acts, func(i, j int) bool { return acts[i].At < acts[j].At })
 
-	r := Report{
-		Params:        p,
-		EnergyByState: make(map[State]float64),
-		TimeInState:   make(map[State]time.Duration),
-	}
+	r := Report{Params: p}
 
-	var w simWriter
+	s.w.intervals = s.w.intervals[:0]
+	w := &s.w
 	var transferBytes int64
 
 	// lastCREntry is when the current busy period's most recent activity put
@@ -294,23 +333,20 @@ func Simulate(activities []Activity, p Params, horizon time.Duration) Report {
 	}
 
 	// Integrate energy and occupancy; count CR<->DRX transitions.
-	power := map[State]float64{
-		Idle: p.PowerIdle, Promotion: p.PowerPromo, CR: p.PowerCR,
-		ShortDRX: p.PowerShortDRX, LongDRX: p.PowerLongDRX,
-	}
 	prev := State(-1)
 	for _, iv := range w.intervals {
 		r.TimeInState[iv.State] += iv.Duration()
-		r.EnergyByState[iv.State] += power[iv.State] / 1000 * iv.Duration().Seconds()
+		r.EnergyByState[iv.State] += p.power(iv.State) / 1000 * iv.Duration().Seconds()
 		if prev >= 0 && isTransition(prev, iv.State) {
 			r.Transitions++
 		}
 		prev = iv.State
 	}
-	r.Intervals = w.intervals
+	r.Intervals = append(make([]Interval, 0, len(w.intervals)), w.intervals...)
 	r.TransferEnergy = float64(transferBytes) * p.EnergyPerByte * 1e-6
-	// Sum in fixed state order so TotalEnergy is bit-for-bit deterministic.
-	for _, st := range []State{Idle, Promotion, CR, ShortDRX, LongDRX} {
+	// Sum in fixed state order (array index order) so TotalEnergy is
+	// bit-for-bit deterministic.
+	for st := range r.EnergyByState {
 		r.TotalEnergy += r.EnergyByState[st]
 	}
 	r.TotalEnergy += r.TransferEnergy
@@ -326,10 +362,6 @@ func isTransition(a, b State) bool {
 // intervals, excluding per-byte transfer energy (which has no timestamp
 // granularity finer than the whole trace).
 func (r Report) EnergyUpTo(t time.Duration) float64 {
-	power := map[State]float64{
-		Idle: r.Params.PowerIdle, Promotion: r.Params.PowerPromo, CR: r.Params.PowerCR,
-		ShortDRX: r.Params.PowerShortDRX, LongDRX: r.Params.PowerLongDRX,
-	}
 	var e float64
 	for _, iv := range r.Intervals {
 		if iv.Start >= t {
@@ -339,7 +371,7 @@ func (r Report) EnergyUpTo(t time.Duration) float64 {
 		if end > t {
 			end = t
 		}
-		e += power[iv.State] / 1000 * (end - iv.Start).Seconds()
+		e += r.Params.power(iv.State) / 1000 * (end - iv.Start).Seconds()
 	}
 	return e
 }

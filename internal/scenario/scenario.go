@@ -14,6 +14,7 @@ import (
 	"github.com/parcel-go/parcel/internal/dnssim"
 	"github.com/parcel-go/parcel/internal/eventsim"
 	"github.com/parcel-go/parcel/internal/httpsim"
+	"github.com/parcel-go/parcel/internal/minijs"
 	"github.com/parcel-go/parcel/internal/simnet"
 	"github.com/parcel-go/parcel/internal/trace"
 	"github.com/parcel-go/parcel/internal/webgen"
@@ -93,18 +94,91 @@ type Topology struct {
 	ProxyResolver *dnssim.Resolver
 
 	Page webgen.Page
+
+	// ExecCache and JSPools configure the browser engines built on this
+	// topology (see browser.Options). Both are set by BuildWith when the
+	// topology draws from shared Resources; Build leaves them zero so the
+	// legacy serial path is byte-for-byte the historical engine.
+	ExecCache bool
+	JSPools   *minijs.Pools
+
+	res *Resources
+}
+
+// Resources bundles the arena pools and scratch that a batch worker threads
+// through consecutive (and interleaved) page simulations: event arena
+// blocks, packet/message free lists, minijs call frames, and finished trace
+// recorders. One Resources serves every simulation driven by one goroutine;
+// it is not safe for concurrent use. Construct with NewResources.
+type Resources struct {
+	Events *eventsim.Pools
+	Net    *simnet.Pools
+	JS     *minijs.Pools
+
+	recorders []*trace.Recorder
+}
+
+// NewResources returns an empty resource bundle for one worker.
+func NewResources() *Resources {
+	return &Resources{
+		Events: eventsim.NewPools(),
+		Net:    simnet.NewPools(),
+		JS:     minijs.NewPools(),
+	}
+}
+
+func (r *Resources) getRecorder() *trace.Recorder {
+	if n := len(r.recorders); n > 0 {
+		rec := r.recorders[n-1]
+		r.recorders[n-1] = nil
+		r.recorders = r.recorders[:n-1]
+		rec.Reset()
+		return rec
+	}
+	return &trace.Recorder{}
+}
+
+// Release returns the topology's pooled resources — event arena blocks and
+// the client trace recorder — so the worker's next simulation can reuse
+// them. It is only legal once the simulation has drained and every metric
+// has been collected: reports copy what they keep (radio intervals, byte
+// totals), so nothing may still alias the recorder or the event arena. A
+// no-op for topologies built without Resources.
+func (t *Topology) Release() {
+	if t.res == nil {
+		return
+	}
+	t.Sim.Release()
+	if t.ClientTrace != nil {
+		t.res.recorders = append(t.res.recorders, t.ClientTrace)
+		t.ClientTrace = nil
+	}
 }
 
 // Build constructs the network for one page. The page's objects are loaded
 // into per-domain origin servers (the replay-server equivalent).
-func Build(page webgen.Page, p Params) *Topology {
+func Build(page webgen.Page, p Params) *Topology { return BuildWith(page, p, nil) }
+
+// BuildWith is Build drawing arenas and scratch from res (nil for private
+// allocations, i.e. plain Build). Topologies built from shared Resources
+// also enable the script exec-outcome cache on their engines; replay
+// validation keeps results bit-identical to the uncached path.
+func BuildWith(page webgen.Page, p Params, res *Resources) *Topology {
 	if p.LTERTT == 0 {
 		p = DefaultParams()
 	}
-	sim := eventsim.New(p.Seed)
-	n := simnet.New(sim)
-
-	clientTrace := &trace.Recorder{}
+	var sim *eventsim.Simulator
+	var n *simnet.Network
+	var clientTrace *trace.Recorder
+	if res != nil {
+		sim = eventsim.NewWithPools(p.Seed, res.Events)
+		n = simnet.NewWithPools(sim, res.Net)
+		clientTrace = res.getRecorder()
+	} else {
+		sim = eventsim.New(p.Seed)
+		n = simnet.New(sim)
+		clientTrace = &trace.Recorder{}
+	}
 	// The page's size is known here: the capture holds roughly one DATA
 	// packet per MSS of body, an ACK for every other segment, and a few
 	// handshake/DNS/control packets per object. Reserving that estimate makes
@@ -135,7 +209,7 @@ func Build(page webgen.Page, p Params) *Topology {
 
 	rng := sim.Rand()
 	dir := make(httpsim.Directory, len(page.Domains))
-	store := page.Store()
+	store := page.SharedStore()
 	for _, domain := range page.Domains {
 		origin := n.AddHost("origin:"+domain, simnet.HostConfig{DownlinkBps: p.ProxyBps, UplinkBps: p.ProxyBps})
 		originRTT := p.ProxyOriginRTT
@@ -162,7 +236,7 @@ func Build(page webgen.Page, p Params) *Topology {
 		browser.Prewarm(obj.URL, obj.ContentType, obj.Body)
 	}
 
-	return &Topology{
+	topo := &Topology{
 		Params:         p,
 		Sim:            sim,
 		Net:            n,
@@ -174,5 +248,11 @@ func Build(page webgen.Page, p Params) *Topology {
 		ClientResolver: dnssim.NewResolver(client, dns),
 		ProxyResolver:  dnssim.NewResolver(proxy, dns),
 		Page:           page,
+		res:            res,
 	}
+	if res != nil {
+		topo.ExecCache = true
+		topo.JSPools = res.JS
+	}
+	return topo
 }

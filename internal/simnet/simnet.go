@@ -106,14 +106,28 @@ type Network struct {
 	paths      map[pathKey]PathParams
 	nextConnID uint64
 
-	// free lists + arena blocks for the allocation-free data path.
+	// free lists + arena blocks for the allocation-free data path,
+	// optionally shared across networks (see Pools).
+	pools *Pools
+
+	faultStats FaultStats
+}
+
+// Pools holds the packet and message free lists plus their arena blocks.
+// One Pools can back many Networks as long as they all run on the same
+// goroutine (a batch of interleaved page simulations per worker): a released
+// object is fully zeroed before it reaches the free list, so whichever
+// network pops it next starts from a clean slate. Pools is not safe for
+// concurrent use.
+type Pools struct {
 	pktArena []packet
 	pktFree  *packet
 	msgArena []outMsg
 	msgFree  *outMsg
-
-	faultStats FaultStats
 }
+
+// NewPools returns an empty packet/message pool.
+func NewPools() *Pools { return &Pools{} }
 
 type pathKey struct{ a, b string }
 
@@ -133,12 +147,21 @@ type PathParams struct {
 	Jitter time.Duration
 }
 
-// New creates an empty network on the given simulator.
-func New(sim *eventsim.Simulator) *Network {
+// New creates an empty network on the given simulator with a private pool.
+func New(sim *eventsim.Simulator) *Network { return NewWithPools(sim, nil) }
+
+// NewWithPools is New drawing packets and messages from p (nil for a private
+// pool). Sharing one Pools across the networks of a simulation batch lets a
+// finished page's packets feed the next page's data path.
+func NewWithPools(sim *eventsim.Simulator, p *Pools) *Network {
+	if p == nil {
+		p = NewPools()
+	}
 	return &Network{
 		Sim:   sim,
 		hosts: make(map[string]*Host),
 		paths: make(map[pathKey]PathParams),
+		pools: p,
 	}
 }
 
@@ -222,17 +245,18 @@ const poolBlockSize = 64
 // newPacket pops a packet off the free list, or carves one from the arena.
 // The returned packet is zeroed except for bookkeeping fields.
 func (n *Network) newPacket() *packet {
-	if p := n.pktFree; p != nil {
-		n.pktFree = p.nextFree
+	pl := n.pools
+	if p := pl.pktFree; p != nil {
+		pl.pktFree = p.nextFree
 		p.nextFree = nil
 		p.pooled = false
 		return p
 	}
-	if len(n.pktArena) == 0 {
-		n.pktArena = make([]packet, poolBlockSize)
+	if len(pl.pktArena) == 0 {
+		pl.pktArena = make([]packet, poolBlockSize)
 	}
-	p := &n.pktArena[0]
-	n.pktArena = n.pktArena[1:]
+	p := &pl.pktArena[0]
+	pl.pktArena = pl.pktArena[1:]
 	return p
 }
 
@@ -241,31 +265,32 @@ func (n *Network) newPacket() *packet {
 // -tags simdebug to panic at the offending call site instead.
 func (n *Network) releasePacket(p *packet) {
 	checkPacketFree(p)
-	*p = packet{nextFree: n.pktFree, pooled: true}
-	n.pktFree = p
+	*p = packet{nextFree: n.pools.pktFree, pooled: true}
+	n.pools.pktFree = p
 }
 
 // newOutMsg pops an in-flight message off the free list or the arena.
 func (n *Network) newOutMsg() *outMsg {
-	if m := n.msgFree; m != nil {
-		n.msgFree = m.nextFree
+	pl := n.pools
+	if m := pl.msgFree; m != nil {
+		pl.msgFree = m.nextFree
 		m.nextFree = nil
 		m.pooled = false
 		return m
 	}
-	if len(n.msgArena) == 0 {
-		n.msgArena = make([]outMsg, poolBlockSize)
+	if len(pl.msgArena) == 0 {
+		pl.msgArena = make([]outMsg, poolBlockSize)
 	}
-	m := &n.msgArena[0]
-	n.msgArena = n.msgArena[1:]
+	m := &pl.msgArena[0]
+	pl.msgArena = pl.msgArena[1:]
 	return m
 }
 
 // releaseOutMsg returns m to the free list once its last byte was delivered.
 func (n *Network) releaseOutMsg(m *outMsg) {
 	checkOutMsgFree(m)
-	*m = outMsg{nextFree: n.msgFree, pooled: true}
-	n.msgFree = m
+	*m = outMsg{nextFree: n.pools.msgFree, pooled: true}
+	n.pools.msgFree = m
 }
 
 // transmit pushes a packet through from's egress queue, the propagation
@@ -462,6 +487,11 @@ type sender struct {
 	cwnd     float64
 	inflight int
 	queue    []*outMsg
+	// queueBuf is the queue's inline first backing: most senders hold only
+	// a couple of undelivered messages at a time, so seeding queue from
+	// here (and resetting to it whenever the queue drains) spares fresh
+	// connections a heap slice per direction per send burst.
+	queueBuf [4]*outMsg
 
 	unackedSegs int // data segments received but not yet ACKed (receiver side bookkeeping kept at sender's peer)
 }
@@ -495,6 +525,8 @@ func (h *Host) Dial(remote *Host, onEstablished func(*Conn)) *Conn {
 	}
 	c.sndToResponder = sender{conn: c, from: h, to: remote, cwnd: InitialCwnd}
 	c.sndToInitiator = sender{conn: c, from: remote, to: h, cwnd: InitialCwnd}
+	c.sndToResponder.queue = c.sndToResponder.queueBuf[:0]
+	c.sndToInitiator.queue = c.sndToInitiator.queueBuf[:0]
 
 	syn := n.newPacket()
 	syn.size = HeaderSize
@@ -642,6 +674,12 @@ func (s *sender) pump() {
 			// Move the head out of the send queue; delivery bookkeeping
 			// continues via the packet's msg reference.
 			s.queue = s.queue[1:]
+			if len(s.queue) == 0 {
+				// Rewind a drained queue onto the inline buffer so the next
+				// burst appends in place instead of growing off the slid
+				// window (a fresh heap slice per burst).
+				s.queue = s.queueBuf[:0]
+			}
 		}
 		s.inflight++
 		n := s.conn.net

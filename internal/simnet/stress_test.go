@@ -87,7 +87,7 @@ func TestPoolingStressManyConns(t *testing.T) {
 	}
 	// The packet arena must actually be recycling: the run moves far more
 	// packets than the pool ever holds live at once.
-	if live := len(n.pktArena); live > 4*poolBlockSize {
+	if live := len(n.pools.pktArena); live > 4*poolBlockSize {
 		t.Fatalf("packet arena grew to %d unused slots; free list not recycling?", live)
 	}
 }

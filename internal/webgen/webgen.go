@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"github.com/parcel-go/parcel/internal/httpsim"
 )
@@ -42,15 +43,33 @@ type Page struct {
 	// HasHTTPS marks pages referencing encrypted objects that take the
 	// client's direct fallback path (§4.5).
 	HasHTTPS bool
+
+	// store is the page's cached origin store, shared by every topology
+	// built for this page (the Generate cache populates it; origin servers
+	// only read it). Hand-built pages leave it nil.
+	store httpsim.MapStore
 }
 
-// Store returns the page's objects as an origin store.
+// Store returns the page's objects as a freshly built origin store. The
+// result is the caller's to mutate (tests extend it with extra endpoints).
 func (p Page) Store() httpsim.MapStore {
 	m := make(httpsim.MapStore, len(p.Objects))
 	for _, o := range p.Objects {
 		m[o.URL] = o
 	}
 	return m
+}
+
+// SharedStore returns the page's prebuilt origin store, shared by every
+// topology serving this page. The result is read-only: origin servers only
+// look objects up, and mutating it would poison the generation cache. When
+// the page has no prebuilt store, or Objects was extended after generation
+// (the store would be stale), it falls back to a fresh Store build.
+func (p Page) SharedStore() httpsim.MapStore {
+	if p.store != nil && len(p.store) == len(p.Objects) {
+		return p.store
+	}
+	return p.Store()
 }
 
 // Spec controls generation.
@@ -63,11 +82,42 @@ type Spec struct {
 // photo streaming, business and science").
 var categories = []string{"news", "sports", "photos", "business", "science", "shopping", "video", "reference"}
 
-// Generate produces the full page set for a spec.
+// maxPageCacheEntries bounds the generated-set cache; sweeps use a handful
+// of distinct specs, so an overflow means something is generating specs in a
+// loop and the epoch is simply dropped (mirroring the browser artifact
+// cache).
+const maxPageCacheEntries = 64
+
+// pageCache memoizes Generate by spec: generation is deterministic, so every
+// scheme, round, and worker of a sweep shares one immutable page set (and
+// one origin store per page) instead of regenerating megabytes of identical
+// HTML/CSS/JS per figure. Spec is comparable, so it keys the map directly.
+var pageCache struct {
+	sync.Mutex
+	m map[Spec][]Page
+}
+
+// Generate produces the full page set for a spec. The result is shared and
+// must be treated as immutable — every object body, store, and page slice
+// may be aliased by concurrent simulations.
 func Generate(spec Spec) []Page {
 	if spec.NumPages <= 0 {
 		spec.NumPages = 34
 	}
+	pageCache.Lock()
+	defer pageCache.Unlock()
+	if pages, ok := pageCache.m[spec]; ok {
+		return pages
+	}
+	pages := generateSet(spec)
+	if pageCache.m == nil || len(pageCache.m) >= maxPageCacheEntries {
+		pageCache.m = make(map[Spec][]Page, 8)
+	}
+	pageCache.m[spec] = pages
+	return pages
+}
+
+func generateSet(spec Spec) []Page {
 	rng := rand.New(rand.NewSource(spec.Seed))
 	pages := make([]Page, 0, spec.NumPages)
 	for i := 0; i < spec.NumPages; i++ {
@@ -83,7 +133,14 @@ func Generate(spec Spec) []Page {
 			// A few pages carry encrypted beacons (§4.5 HTTPS fallback).
 			https: i%7 == 2,
 		}
-		pages = append(pages, generatePage(rng, cfg))
+		page := generatePage(rng, cfg)
+		// Build the origin store once per page; every topology serving this
+		// page shares it read-only.
+		page.store = make(httpsim.MapStore, len(page.Objects))
+		for _, o := range page.Objects {
+			page.store[o.URL] = o
+		}
+		pages = append(pages, page)
 	}
 	return pages
 }
