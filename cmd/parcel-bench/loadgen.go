@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/experiments"
+	"github.com/parcel-go/parcel/internal/metrics"
+	"github.com/parcel-go/parcel/internal/parcelnet"
+	"github.com/parcel-go/parcel/internal/replay"
+	"github.com/parcel-go/parcel/internal/sched"
+	"github.com/parcel-go/parcel/internal/webgen"
+)
+
+// loadgenArm is one arm of the multi-tenant load run in BENCH_loadgen.json.
+type loadgenArm struct {
+	Arm      string `json:"arm"` // "sim" (virtual clock) or "tcp" (real sockets + netem)
+	Tenants  int    `json:"tenants"`
+	Pages    int    `json:"pages"`
+	Complete int    `json:"completed"`
+	Failed   int    `json:"failed"`
+
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	EgressPerSession float64 `json:"egress_bytes_per_session"`
+	OriginBytes      int64   `json:"origin_bytes_total"`
+
+	Deferred int64 `json:"deferred"`
+	Shed     int64 `json:"shed"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// loadgenReport is the JSON shape the loadgen target writes.
+type loadgenReport struct {
+	Tenants int          `json:"tenants"`
+	Arms    []loadgenArm `json:"arms"`
+}
+
+func armFromReport(name string, tenants, pages int, r metrics.FleetReport, wall time.Duration) loadgenArm {
+	return loadgenArm{
+		Arm: name, Tenants: tenants, Pages: pages,
+		Complete: r.Completed, Failed: r.Failed,
+		P50MS: float64(r.P50) / float64(time.Millisecond),
+		P90MS: float64(r.P90) / float64(time.Millisecond),
+		P99MS: float64(r.P99) / float64(time.Millisecond),
+		CacheHitRate:     r.CacheHitRate,
+		EgressPerSession: r.EgressPerSession,
+		OriginBytes:      r.OriginBytes,
+		Deferred:         r.Deferred,
+		Shed:             r.Shed,
+		WallSeconds:      wall.Seconds(),
+	}
+}
+
+// benchLoadgen runs the multi-tenant load harness on both arms — the
+// deterministic fleet simulation and the real-TCP sharded proxy — and writes
+// BENCH_loadgen.json. Gates: every session must complete and the shared
+// cache must actually hit on both arms; p99Budget (0 = off) additionally
+// bounds the sim arm's deterministic p99 completion latency.
+func benchLoadgen(w io.Writer, tenants int, seed int64, path string, p99Budget time.Duration) error {
+	header(w, "loadgen: multi-tenant fleet through one proxy, shared object cache")
+	if tenants <= 0 {
+		tenants = 200
+	}
+	const nPages = 4
+
+	t0 := time.Now()
+	sim := experiments.LoadgenSim(experiments.LoadgenSimConfig{
+		Tenants:    tenants,
+		Pages:      nPages,
+		Seed:       seed,
+		Sched:      sched.ConfigONLD,
+		CacheBytes: 256 << 20,
+	})
+	simWall := time.Since(t0)
+
+	pages := webgen.Generate(webgen.Spec{Seed: seed, NumPages: nPages})
+	archive := replay.FromPages(pages...)
+	urls := make([]string, len(pages))
+	for i, p := range pages {
+		urls[i] = p.MainURL
+	}
+	t1 := time.Now()
+	tcp, err := parcelnet.RunLoadgen(parcelnet.LoadgenConfig{
+		Clients:     tenants,
+		Store:       replay.Rewriting{Store: archive},
+		URLs:        urls,
+		Sched:       sched.ConfigONLD,
+		CacheBytes:  256 << 20,
+		FixedRandom: true,
+	})
+	if err != nil {
+		return fmt.Errorf("tcp loadgen: %w", err)
+	}
+	tcpWall := time.Since(t1)
+
+	rep := loadgenReport{
+		Tenants: tenants,
+		Arms: []loadgenArm{
+			armFromReport("sim", tenants, nPages, sim.Report, simWall),
+			armFromReport("tcp", tenants, nPages, tcp.Report, tcpWall),
+		},
+	}
+	for _, arm := range rep.Arms {
+		fmt.Fprintf(w, "%-4s %4d tenants: completed=%d failed=%d p50=%.0fms p90=%.0fms p99=%.0fms hit-rate=%.2f egress/user=%.0fKB origin=%.1fMB wall=%.2fs\n",
+			arm.Arm, arm.Tenants, arm.Complete, arm.Failed, arm.P50MS, arm.P90MS, arm.P99MS,
+			arm.CacheHitRate, arm.EgressPerSession/1e3, float64(arm.OriginBytes)/1e6, arm.WallSeconds)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+
+	for _, arm := range rep.Arms {
+		if arm.Failed > 0 {
+			return fmt.Errorf("loadgen %s arm: %d/%d sessions failed", arm.Arm, arm.Failed, arm.Tenants)
+		}
+		if arm.CacheHitRate <= 0 {
+			return fmt.Errorf("loadgen %s arm: shared cache never hit", arm.Arm)
+		}
+	}
+	if p99Budget > 0 {
+		if p99 := sim.Report.P99; p99 > p99Budget {
+			return fmt.Errorf("loadgen sim arm p99 %v exceeds budget %v", p99, p99Budget)
+		}
+	}
+	return nil
+}

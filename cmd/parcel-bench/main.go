@@ -6,15 +6,17 @@
 //	parcel-bench [-pages N] [-runs N] [-seed S] [-jitter D] [-parallelism N] TARGET...
 //
 // Targets: fig3 fig5 fig6a fig6b fig6c fig7a fig7b fig7c fig8 fig9 fig10
-// fig11 model delay table1 spdy summary benchsweep benchhotpath all
+// fig11 model delay table1 spdy summary benchsweep benchhotpath loadgen all
 //
 // Independent targets render concurrently (each into its own buffer, printed
 // in request order); the simulations inside each target additionally fan out
 // on the -parallelism worker pool. benchsweep times a serial vs parallel
 // sweep and writes the result to BENCH_sweep.json; benchhotpath profiles
 // page-load allocations against the committed budget and writes
-// BENCH_hotpath.json. Both always run by themselves, before any other
-// requested target, so nothing competes with the clock.
+// BENCH_hotpath.json; loadgen drives a multi-tenant fleet through one proxy
+// on both the virtual-clock and real-TCP arms and writes BENCH_loadgen.json.
+// All three always run by themselves, before any other requested target, so
+// nothing competes with the clock.
 //
 // Absolute numbers come from a simulator, not the authors' LTE testbed; the
 // shapes (who wins, by what factor, the trade-off orderings) are what the
@@ -58,6 +60,9 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_sweep.json", "output path for the benchsweep target")
 	hotpathOut := flag.String("hotpathout", "BENCH_hotpath.json", "output path for the benchhotpath target")
 	minSpeedup := flag.Float64("minspeedup", 0, "benchsweep fails if parallel speedup is below this (0 = no floor; use on multi-core CI)")
+	loadgenOut := flag.String("loadgenout", "BENCH_loadgen.json", "output path for the loadgen target")
+	tenants := flag.Int("tenants", 200, "loadgen fleet size (concurrent sessions per arm)")
+	loadgenP99 := flag.Duration("loadgenp99", 0, "loadgen fails if the sim arm's p99 completion latency exceeds this (0 = no gate)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -83,6 +88,7 @@ func main() {
 	// clock, so it must not share the machine with other targets.
 	wantBench := false
 	wantHotpath := false
+	wantLoadgen := false
 	renderTargets := targets[:0:0]
 	for _, t := range targets {
 		if t == "benchsweep" {
@@ -93,8 +99,12 @@ func main() {
 			wantHotpath = true
 			continue
 		}
+		if t == "loadgen" {
+			wantLoadgen = true
+			continue
+		}
 		if !knownTarget(t) {
-			fmt.Fprintf(os.Stderr, "parcel-bench: unknown target %q (want one of %s benchsweep benchhotpath)\n",
+			fmt.Fprintf(os.Stderr, "parcel-bench: unknown target %q (want one of %s benchsweep benchhotpath loadgen)\n",
 				t, strings.Join(allTargets, " "))
 			os.Exit(2)
 		}
@@ -110,6 +120,13 @@ func main() {
 	}
 	if wantHotpath {
 		if err := benchHotpath(os.Stdout, *hotpathOut); err != nil {
+			fmt.Fprintf(os.Stderr, "parcel-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// loadgen also runs alone: its TCP arm reports wall-clock percentiles.
+	if wantLoadgen {
+		if err := benchLoadgen(os.Stdout, *tenants, *seed, *loadgenOut, *loadgenP99); err != nil {
 			fmt.Fprintf(os.Stderr, "parcel-bench: %v\n", err)
 			os.Exit(1)
 		}

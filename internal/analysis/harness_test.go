@@ -156,7 +156,7 @@ func matchDiagnostics(t *testing.T, fset *token.FileSet, pkgName string, got []a
 }
 
 func TestDeterminism(t *testing.T) {
-	for _, fix := range []string{"determ_sim", "determ_sim_clean", "determ_exempt"} {
+	for _, fix := range []string{"determ_sim", "determ_sim_clean", "determ_exempt", "determ_cache", "determ_cache_clean"} {
 		t.Run(fix, func(t *testing.T) { runFixture(t, Determinism, fix) })
 	}
 }

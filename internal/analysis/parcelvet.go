@@ -71,10 +71,17 @@ var simDeterministic = map[string]bool{
 	"internal/htmlparse":    true,
 	"internal/cssparse":     true,
 	"internal/metrics":      true,
+	// The cross-session object cache sits on both arms: the fleet simulation
+	// shares it between virtual-clock sessions, so recency and eviction must
+	// be driven by access order alone — a wall-clock or global-RNG read there
+	// would leak real time into golden figures.
+	"internal/objcache": true,
 
 	// analysistest fixtures
-	"determ_sim":       true,
-	"determ_sim_clean": true,
+	"determ_sim":         true,
+	"determ_sim_clean":   true,
+	"determ_cache":       true,
+	"determ_cache_clean": true,
 }
 
 // realClockAllowlist is the checked-in exemption list: packages that talk to

@@ -1,0 +1,57 @@
+// Package determ_cache is the positive determinism fixture for the shared
+// object-cache package class: every nondeterminism shortcut a cache
+// implementation might reach for — wall-clock recency stamps, global-RNG
+// eviction sampling, map-order victim scans — must be flagged, because the
+// cache is shared by virtual-clock sessions and any real-time read there
+// leaks into golden figures.
+package determ_cache
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+type entry struct {
+	body     []byte
+	lastUsed time.Time
+}
+
+type cache struct {
+	entries map[string]*entry
+}
+
+func (c *cache) touch(key string) {
+	if e, ok := c.entries[key]; ok {
+		e.lastUsed = time.Now() // want "call to time.Now in sim-deterministic package"
+	}
+}
+
+func (c *cache) sampleVictim(keys []string) string {
+	return keys[rand.Intn(len(keys))] // want "top-level rand.Intn draws from the global RNG"
+}
+
+func (c *cache) victims(n int) []string {
+	out := make([]string, 0, n)
+	for k := range c.entries { // want "map iteration order flows into returned slice \"out\""
+		if len(out) == n {
+			break
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+func (c *cache) dump() {
+	for k, e := range c.entries { // want "map-range loop feeds fmt output"
+		fmt.Println(k, len(e.body))
+	}
+}
+
+func (c *cache) expire(ttl time.Duration, key string) bool {
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	return time.Since(e.lastUsed) > ttl // want "call to time.Since in sim-deterministic package"
+}

@@ -1,0 +1,82 @@
+// Package determ_cache_clean is the negative determinism fixture for the
+// shared object-cache class: the sanctioned idioms — recency as an intrusive
+// access-ordered list, eviction from the list tail, seeded RNG threaded by
+// the caller, sorted key listings — produce no findings.
+package determ_cache_clean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+type entry struct {
+	key        string
+	body       []byte
+	prev, next *entry
+}
+
+type cache struct {
+	entries    map[string]*entry
+	head, tail *entry
+	bytes, cap int64
+}
+
+// touch moves the entry to the front of the recency list: access order, not
+// wall-clock timestamps, is what orders eviction.
+func (c *cache) touch(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.head == e {
+		c.head = e.next
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// evict removes least-recently-used entries until the budget holds.
+func (c *cache) evict() {
+	for c.bytes > c.cap && c.tail != nil {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.key)
+		c.bytes -= int64(len(victim.body))
+	}
+}
+
+// sampleVictim draws from a seeded source the caller threads through —
+// reproducible given the seed.
+func (c *cache) sampleVictim(r *rand.Rand, keys []string) string {
+	return keys[r.Intn(len(keys))]
+}
+
+// keys returns the resident keys in sorted order: map iteration feeds output
+// only after an explicit sort.
+func (c *cache) keys() []string {
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

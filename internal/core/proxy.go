@@ -6,6 +6,7 @@ import (
 	"github.com/parcel-go/parcel/internal/browser"
 	"github.com/parcel-go/parcel/internal/eventsim"
 	"github.com/parcel-go/parcel/internal/httpsim"
+	"github.com/parcel-go/parcel/internal/objcache"
 	"github.com/parcel-go/parcel/internal/scenario"
 	"github.com/parcel-go/parcel/internal/sched"
 	"github.com/parcel-go/parcel/internal/simnet"
@@ -31,6 +32,12 @@ type ProxyConfig struct {
 	// wire — the orthogonal data-compression/transformation feature cloud
 	// proxies offer (§3); 0 disables it.
 	CompressionFactor float64
+	// Cache, when non-nil, is the cross-session object cache shared by every
+	// session this proxy serves: origin responses are published into it and
+	// later sessions' fetches are served from it at proxy-local time, so a
+	// fleet of tenants loading the same page pulls each object from the
+	// origin once. nil (the default) keeps the historical fetch-always path.
+	Cache *objcache.Cache
 }
 
 // DefaultProxyConfig returns the evaluation defaults (IND schedule).
@@ -52,6 +59,17 @@ type Proxy struct {
 
 	// Sessions lists per-connection session states (instrumentation).
 	Sessions []*ProxySession
+
+	// flights joins concurrent cache-miss fetches of one URL across
+	// sessions (single-flight): the origin is asked once, every waiting
+	// session is delivered at arrival. Only allocated when cfg.Cache is set.
+	flights map[string]*simFlight
+}
+
+// simFlight is one in-progress shared-cache origin fetch; waiters are the
+// sessions that requested the URL while it was already on the wire.
+type simFlight struct {
+	waiters []*cachedDelivery
 }
 
 // StartProxy installs the proxy listener.
@@ -63,6 +81,9 @@ func StartProxy(topo *scenario.Topology, cfg ProxyConfig) *Proxy {
 		cfg.CPU = browser.ProxyCPU()
 	}
 	p := &Proxy{topo: topo, cfg: cfg}
+	if cfg.Cache != nil {
+		p.flights = make(map[string]*simFlight)
+	}
 	topo.Proxy.Listen(func(c *simnet.Conn) {
 		s := &ProxySession{proxy: p, conn: c}
 		p.Sessions = append(p.Sessions, s)
@@ -105,6 +126,14 @@ type ProxySession struct {
 	FallbacksSeen int
 	OnloadAt      time.Duration
 	CompleteAt    time.Duration
+
+	// Shared-cache accounting (zero unless ProxyConfig.Cache is set):
+	// CacheHits are origin fetches answered from the cross-session cache,
+	// CacheMisses went to the origin, and OriginBytes is what the misses
+	// actually transferred.
+	CacheHits   int
+	CacheMisses int
+	OriginBytes int64
 }
 
 // proxyFetcher wraps the proxy's origin HTTP client, teeing every response
@@ -122,13 +151,89 @@ func (f *proxyFetcher) Fetch(url string, cb func(browser.Result)) {
 		cb(browser.Result{URL: url, Status: 204, At: f.s.proxy.topo.Sim.Now()})
 		return
 	}
+	if c := f.s.proxy.cfg.Cache; c != nil {
+		if obj, ok := c.Get(url); ok {
+			f.s.CacheHits++
+			// Deliver asynchronously at proxy-local time: the engine's fetch
+			// contract is callback-after-return, and a hit skips the
+			// proxy↔origin round trip entirely.
+			sim := f.s.proxy.topo.Sim
+			sim.ScheduleArgAt(sim.Now(), deliverCachedObject, &cachedDelivery{
+				s: f.s, obj: obj, cb: cb,
+			})
+			return
+		}
+		p := f.s.proxy
+		if fl, ok := p.flights[url]; ok {
+			// Single-flight: another session already has this URL on the
+			// wire; join its fetch instead of duplicating it. A successful
+			// join counts as a hit (the session paid no origin traffic),
+			// matching the real-TCP cache's GetOrFetch semantics.
+			f.s.CacheHits++
+			fl.waiters = append(fl.waiters, &cachedDelivery{s: f.s, cb: cb})
+			return
+		}
+		p.flights[url] = &simFlight{}
+		f.s.CacheMisses++
+		f.client.Do(httpsim.Request{Method: "GET", URL: url}, func(resp httpsim.Response, at time.Duration) {
+			fl := p.flights[url]
+			delete(p.flights, url)
+			f.s.OriginBytes += int64(len(resp.Body))
+			c.Put(objcache.Object{
+				URL: resp.URL, ContentType: resp.ContentType, Status: resp.Status,
+				Validator: simValidator, Body: resp.Body,
+			})
+			it := sched.Item{
+				URL: resp.URL, ContentType: resp.ContentType, Status: resp.Status,
+				Body: resp.Body, ArrivedAt: at,
+			}
+			f.s.collect(it)
+			cb(browser.Result{URL: it.URL, Status: it.Status, ContentType: it.ContentType, Body: it.Body, At: at})
+			// Joined sessions receive the same bytes at the same arrival, in
+			// join order (deterministic: appends follow the event order).
+			if fl != nil {
+				for _, w := range fl.waiters {
+					w.s.collect(it)
+					w.cb(browser.Result{URL: it.URL, Status: it.Status, ContentType: it.ContentType, Body: it.Body, At: at})
+				}
+			}
+		})
+		return
+	}
 	f.client.Do(httpsim.Request{Method: "GET", URL: url}, func(resp httpsim.Response, at time.Duration) {
+		f.s.OriginBytes += int64(len(resp.Body))
 		f.s.collect(sched.Item{
 			URL: resp.URL, ContentType: resp.ContentType, Status: resp.Status,
 			Body: resp.Body, ArrivedAt: at,
 		})
 		cb(browser.Result{URL: resp.URL, Status: resp.Status, ContentType: resp.ContentType, Body: resp.Body, At: at})
 	})
+}
+
+// simValidator is the freshness token for simulated origins: replay stores
+// are immutable for a topology's lifetime, so one generation suffices.
+const simValidator = "sim"
+
+// cachedDelivery carries one cache hit to its continuation (the noclosure
+// ScheduleArgAt idiom: package-level func + typed argument, no capture).
+type cachedDelivery struct {
+	s   *ProxySession
+	obj objcache.Object
+	cb  func(browser.Result)
+}
+
+// deliverCachedObject hands a cache-resident object to the session exactly as
+// an origin response would arrive: collected (bundled + cached for fallback)
+// and then surfaced to the engine.
+func deliverCachedObject(arg any) {
+	d := arg.(*cachedDelivery)
+	at := d.s.proxy.topo.Sim.Now()
+	it := sched.Item{
+		URL: d.obj.URL, ContentType: d.obj.ContentType, Status: d.obj.Status,
+		Body: d.obj.Body, ArrivedAt: at,
+	}
+	d.s.collect(it)
+	d.cb(browser.Result{URL: it.URL, Status: it.Status, ContentType: it.ContentType, Body: it.Body, At: at})
 }
 
 func (s *ProxySession) onMessage(m simnet.Message) {
@@ -265,6 +370,9 @@ func (s *ProxySession) declareComplete() {
 		ObjectsPushed: s.ObjectsPushed,
 		BytesPushed:   s.BytesPushed,
 		At:            s.CompleteAt,
+		CacheHits:     s.CacheHits,
+		CacheMisses:   s.CacheMisses,
+		OriginBytes:   s.OriginBytes,
 	}
 	s.conn.Send(s.proxy.topo.Proxy, 160, note, labelComplete, nil)
 }

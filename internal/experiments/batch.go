@@ -69,8 +69,7 @@ func runBatch(st *batchState, tasks []batchTask, cfg Config, out []metrics.PageR
 			b.Engine.Load(topo.Page.MainURL)
 			sessions[i] = batchSession{topo: topo, collect: b.CollectWith, scheme: "DIR"}
 		} else {
-			pc := core.DefaultProxyConfig()
-			pc.Sched = tk.s.Sched
+			pc := proxyConfigFor(cfg, tk.s)
 			core.StartProxy(topo, pc)
 			client := core.NewClient(topo, core.DefaultClientConfig())
 			client.Start()

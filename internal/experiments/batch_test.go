@@ -9,21 +9,26 @@ import (
 
 // TestBatchMatchesSerial pins the batch engine to the legacy engine: every
 // (batch size, parallelism) combination must reproduce the BatchSize == 1
-// serial sweep bit for bit. This is the determinism contract of batch.go —
-// shared arenas, the exec-outcome cache, and round-robin multiplexing may
-// change where time and memory go, never what the figures say.
+// serial sweep bit for bit — with the shared object cache off and on. This is
+// the determinism contract of batch.go — shared arenas, the exec-outcome
+// cache, round-robin multiplexing, and the per-topology cache may change
+// where time and memory go, never what the figures say.
 func TestBatchMatchesSerial(t *testing.T) {
-	cfg := goldenConfig()
-	schemes := []Scheme{DIRScheme, ParcelScheme(sched.ConfigIND), ParcelScheme(sched.Config512K)}
-	cfg.BatchSize = 1
-	want := Sweep(cfg, schemes)
-	for _, batch := range []int{1, 4, 16} {
-		for _, par := range []int{1, 4} {
-			c := cfg
-			c.BatchSize = batch
-			c.Parallelism = par
-			if got := Sweep(c, schemes); !reflect.DeepEqual(got, want) {
-				t.Errorf("batch %d × parallelism %d: sweep differs from the serial legacy engine", batch, par)
+	for _, sharedCache := range []bool{false, true} {
+		cfg := goldenConfig()
+		cfg.SharedCache = sharedCache
+		schemes := []Scheme{DIRScheme, ParcelScheme(sched.ConfigIND), ParcelScheme(sched.Config512K)}
+		cfg.BatchSize = 1
+		want := Sweep(cfg, schemes)
+		for _, batch := range []int{1, 4, 16} {
+			for _, par := range []int{1, 4} {
+				c := cfg
+				c.BatchSize = batch
+				c.Parallelism = par
+				if got := Sweep(c, schemes); !reflect.DeepEqual(got, want) {
+					t.Errorf("sharedCache=%v batch %d × parallelism %d: sweep differs from the serial legacy engine",
+						sharedCache, batch, par)
+				}
 			}
 		}
 	}

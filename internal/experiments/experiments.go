@@ -10,6 +10,7 @@ import (
 	"github.com/parcel-go/parcel/internal/core"
 	"github.com/parcel-go/parcel/internal/dirbrowser"
 	"github.com/parcel-go/parcel/internal/metrics"
+	"github.com/parcel-go/parcel/internal/objcache"
 	"github.com/parcel-go/parcel/internal/scenario"
 	"github.com/parcel-go/parcel/internal/sched"
 	"github.com/parcel-go/parcel/internal/stats"
@@ -41,6 +42,11 @@ type Config struct {
 	// means 16, 1 forces the legacy one-topology-per-task engine. Results
 	// are bit-for-bit identical at any batch size.
 	BatchSize int
+	// SharedCache gives every PARCEL proxy the sweep starts a cross-session
+	// object cache (a fresh one per topology). Sweep sessions are
+	// single-tenant with unique per-page URLs, so the cache never hits and
+	// the figures must not move — the golden suite pins that invariance.
+	SharedCache bool
 }
 
 // DefaultConfig returns the standard evaluation configuration.
@@ -100,9 +106,21 @@ func RunOnce(page webgen.Page, s Scheme, cfg Config, seed int64) metrics.PageRun
 	if s.DIR {
 		return dirbrowser.Run(topo, dirbrowser.Options{FixedRandom: true})
 	}
+	pc := proxyConfigFor(cfg, s)
+	return core.Run(topo, pc, core.DefaultClientConfig())
+}
+
+// proxyConfigFor builds one task's proxy configuration, attaching a fresh
+// shared cache when the sweep asks for one. Per-topology caches keep tasks
+// independent (and therefore order-free): cross-task sharing would make a
+// task's timing depend on which tasks ran before it.
+func proxyConfigFor(cfg Config, s Scheme) core.ProxyConfig {
 	pc := core.DefaultProxyConfig()
 	pc.Sched = s.Sched
-	return core.Run(topo, pc, core.DefaultClientConfig())
+	if cfg.SharedCache {
+		pc.Cache = objcache.New(objcache.Config{Capacity: 64 << 20})
+	}
+	return pc
 }
 
 // roundSeed derives the jitter seed of measurement round r. It depends only

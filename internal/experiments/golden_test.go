@@ -105,10 +105,9 @@ type goldenFigs struct {
 	HeadlineEnergyReduction float64 `json:"headline_energy_reduction"`
 }
 
-// measureGolden runs every figure harness on the golden config.
-func measureGolden(t *testing.T) goldenFigs {
+// measureGolden runs every figure harness on the given config.
+func measureGolden(t *testing.T, cfg Config) goldenFigs {
 	t.Helper()
-	cfg := goldenConfig()
 	var g goldenFigs
 
 	r3 := Fig3(cfg)
@@ -202,7 +201,7 @@ func measureGolden(t *testing.T) goldenFigs {
 const goldenPath = "testdata/golden_figs.json"
 
 func TestGoldenFigures(t *testing.T) {
-	got := measureGolden(t)
+	got := measureGolden(t, goldenConfig())
 
 	if *updateGolden {
 		data, err := json.MarshalIndent(got, "", "  ")
@@ -235,6 +234,34 @@ func TestGoldenFigures(t *testing.T) {
 	for i := 0; i < typ.NumField(); i++ {
 		if !reflect.DeepEqual(gv.Field(i).Interface(), wv.Field(i).Interface()) {
 			t.Errorf("%s drifted from golden:\n got:  %#v\n want: %#v",
+				typ.Field(i).Name, gv.Field(i).Interface(), wv.Field(i).Interface())
+		}
+	}
+}
+
+// TestGoldenSharedCacheInvariant asserts the cross-session cache is inert in
+// single-tenant sweeps: every session is alone on its proxy with a fresh
+// cache and page-unique URLs, so enabling it must reproduce the committed
+// golden figures bit for bit. Any drift means the cache path changed a
+// session's own timing — a correctness bug, not a tuning choice.
+func TestGoldenSharedCacheInvariant(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.SharedCache = true
+	got := measureGolden(t, cfg)
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to generate): %v", err)
+	}
+	var want goldenFigs
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	gv, wv := reflect.ValueOf(got), reflect.ValueOf(want)
+	typ := gv.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		if !reflect.DeepEqual(gv.Field(i).Interface(), wv.Field(i).Interface()) {
+			t.Errorf("%s drifted under SharedCache:\n got:  %#v\n want: %#v",
 				typ.Field(i).Name, gv.Field(i).Interface(), wv.Field(i).Interface())
 		}
 	}

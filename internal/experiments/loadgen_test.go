@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/parcel-go/parcel/internal/sched"
+)
+
+// TestLoadgenSimSharedCache drives a simulated fleet through one proxy with
+// the cross-session cache: every tenant completes, later tenants hit the
+// cache, and the fleet's origin traffic collapses to one copy per object.
+func TestLoadgenSimSharedCache(t *testing.T) {
+	res := LoadgenSim(LoadgenSimConfig{
+		Tenants:    40,
+		Pages:      2,
+		Seed:       7,
+		Sched:      sched.ConfigIND,
+		CacheBytes: 64 << 20,
+	})
+	r := res.Report
+	if r.Sessions != 40 || r.Completed != 40 {
+		t.Fatalf("completion: %+v", r)
+	}
+	if r.CacheHitRate <= 0.5 {
+		t.Errorf("cache hit rate = %v over 40 tenants of 2 pages, want > 0.5", r.CacheHitRate)
+	}
+	if !(r.P50 > 0 && r.P50 <= r.P90 && r.P90 <= r.P99) {
+		t.Errorf("percentiles unordered: p50=%v p90=%v p99=%v", r.P50, r.P90, r.P99)
+	}
+	if r.EgressPerSession <= 0 {
+		t.Errorf("egress/session = %v", r.EgressPerSession)
+	}
+	if res.Cache.Hits == 0 {
+		t.Errorf("cache never hit: %+v", res.Cache)
+	}
+	// Cross-session dedup: with the cache, fleet origin bytes are far below
+	// tenants × page weight — they equal what the earliest tenant of each
+	// page pulled (plus any pre-hit concurrent fetches during warmup).
+	var withCache int64
+	for _, l := range res.Loads {
+		withCache += l.OriginBytes
+	}
+	nocache := LoadgenSim(LoadgenSimConfig{
+		Tenants: 40, Pages: 2, Seed: 7, Sched: sched.ConfigIND,
+	})
+	if nocache.Report.CacheHitRate != 0 {
+		t.Errorf("cache disabled but hit rate = %v", nocache.Report.CacheHitRate)
+	}
+	if nocache.Report.Completed != 40 {
+		t.Fatalf("uncached fleet completion: %+v", nocache.Report)
+	}
+	if withCache >= nocache.Report.OriginBytes/2 {
+		t.Errorf("shared cache barely reduced origin traffic: %d cached vs %d uncached",
+			withCache, nocache.Report.OriginBytes)
+	}
+}
+
+// TestLoadgenSimDeterministic pins the fleet simulation's reproducibility:
+// same config, same bits — loads, report, and cache stats alike.
+func TestLoadgenSimDeterministic(t *testing.T) {
+	cfg := LoadgenSimConfig{
+		Tenants:    25,
+		Pages:      3,
+		Seed:       11,
+		Sched:      sched.ConfigONLD,
+		CacheBytes: 32 << 20,
+	}
+	a := LoadgenSim(cfg)
+	b := LoadgenSim(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two runs of one LoadgenSimConfig produced different results")
+	}
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"time"
+
+	"github.com/parcel-go/parcel/internal/stats"
+)
+
+// SessionLoad is one tenant session's outcome in a multi-tenant load run —
+// the fleet-scale unit of measurement the per-page PageRun does not cover:
+// how long this user waited, what the shared object cache did for them, and
+// how much origin/client traffic their session cost the proxy.
+type SessionLoad struct {
+	// ID is the session's index in the fleet.
+	ID int
+	// Page is the page the session loaded.
+	Page string
+	// Latency is request-to-completion (virtual time in simulation, wall
+	// clock over real TCP).
+	Latency time.Duration
+	// Completed reports whether the page finished; failed sessions are
+	// excluded from latency percentiles but counted.
+	Completed bool
+
+	// CacheHits and CacheMisses count the session's lookups in the proxy's
+	// cross-session object cache.
+	CacheHits, CacheMisses int
+	// EgressBytes is what the proxy pushed to this client.
+	EgressBytes int64
+	// OriginBytes is what the proxy fetched from origins on this session's
+	// behalf (cache hits cost zero).
+	OriginBytes int64
+	// Deferred and Shed count push-budget admission outcomes: objects parked
+	// for later delivery and objects dropped to the client's direct-origin
+	// path.
+	Deferred, Shed int
+}
+
+// FleetReport aggregates a load-generator run: per-session latency
+// percentiles over completed sessions, cache effectiveness, and per-user
+// egress — the schema behind BENCH_loadgen.json.
+type FleetReport struct {
+	Sessions  int
+	Completed int
+	Failed    int
+
+	P50, P90, P99 time.Duration
+
+	CacheHits    int64
+	CacheMisses  int64
+	CacheHitRate float64 // hits / (hits + misses); 0 when no lookups
+
+	EgressBytes      int64
+	EgressPerSession float64
+	OriginBytes      int64
+	OriginPerSession float64
+
+	Deferred int64
+	Shed     int64
+}
+
+// Fleet reduces per-session loads to the fleet report. Percentiles are over
+// completed sessions only; byte and cache totals cover every session.
+func Fleet(loads []SessionLoad) FleetReport {
+	var r FleetReport
+	r.Sessions = len(loads)
+	lat := make([]float64, 0, len(loads))
+	for _, l := range loads {
+		if l.Completed {
+			r.Completed++
+			lat = append(lat, l.Latency.Seconds())
+		} else {
+			r.Failed++
+		}
+		r.CacheHits += int64(l.CacheHits)
+		r.CacheMisses += int64(l.CacheMisses)
+		r.EgressBytes += l.EgressBytes
+		r.OriginBytes += l.OriginBytes
+		r.Deferred += int64(l.Deferred)
+		r.Shed += int64(l.Shed)
+	}
+	if len(lat) > 0 {
+		r.P50 = time.Duration(stats.Percentile(lat, 50) * float64(time.Second))
+		r.P90 = time.Duration(stats.Percentile(lat, 90) * float64(time.Second))
+		r.P99 = time.Duration(stats.Percentile(lat, 99) * float64(time.Second))
+	}
+	if total := r.CacheHits + r.CacheMisses; total > 0 {
+		r.CacheHitRate = float64(r.CacheHits) / float64(total)
+	}
+	if r.Sessions > 0 {
+		r.EgressPerSession = float64(r.EgressBytes) / float64(r.Sessions)
+		r.OriginPerSession = float64(r.OriginBytes) / float64(r.Sessions)
+	}
+	return r
+}

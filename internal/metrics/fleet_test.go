@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFleetAggregation(t *testing.T) {
+	loads := make([]SessionLoad, 0, 101)
+	for i := 0; i < 100; i++ {
+		loads = append(loads, SessionLoad{
+			ID: i, Completed: true,
+			Latency:     time.Duration(i+1) * 10 * time.Millisecond,
+			CacheHits:   3,
+			CacheMisses: 1,
+			EgressBytes: 1000,
+			OriginBytes: 250,
+			Deferred:    1,
+		})
+	}
+	loads = append(loads, SessionLoad{ID: 100, Completed: false, Shed: 2})
+
+	r := Fleet(loads)
+	if r.Sessions != 101 || r.Completed != 100 || r.Failed != 1 {
+		t.Fatalf("counts: %+v", r)
+	}
+	// 100 evenly spaced latencies 10ms..1000ms: the percentiles must land on
+	// the spacing, and be ordered.
+	if r.P50 < 400*time.Millisecond || r.P50 > 600*time.Millisecond {
+		t.Errorf("p50 = %v", r.P50)
+	}
+	if !(r.P50 <= r.P90 && r.P90 <= r.P99) {
+		t.Errorf("percentiles unordered: %v %v %v", r.P50, r.P90, r.P99)
+	}
+	if r.P99 > time.Second || r.P99 < 900*time.Millisecond {
+		t.Errorf("p99 = %v", r.P99)
+	}
+	if r.CacheHitRate != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", r.CacheHitRate)
+	}
+	if r.EgressBytes != 100_000 || r.OriginBytes != 25_000 {
+		t.Errorf("bytes: egress %d origin %d", r.EgressBytes, r.OriginBytes)
+	}
+	if r.Deferred != 100 || r.Shed != 2 {
+		t.Errorf("deferred %d shed %d", r.Deferred, r.Shed)
+	}
+	if r.EgressPerSession <= 0 || r.EgressPerSession > 1000 {
+		t.Errorf("egress/session = %v", r.EgressPerSession)
+	}
+}
+
+func TestFleetEmptyAndAllFailed(t *testing.T) {
+	if r := Fleet(nil); r.Sessions != 0 || r.P99 != 0 || r.CacheHitRate != 0 {
+		t.Fatalf("empty fleet: %+v", r)
+	}
+	r := Fleet([]SessionLoad{{ID: 0}, {ID: 1}})
+	if r.Failed != 2 || r.P50 != 0 {
+		t.Fatalf("all-failed fleet: %+v", r)
+	}
+}

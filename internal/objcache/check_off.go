@@ -1,0 +1,7 @@
+//go:build !simdebug
+
+package objcache
+
+// checkAccounting is a no-op without the simdebug tag; the debug build
+// recomputes segment byte totals after every admission.
+func checkAccounting(*segment) {}

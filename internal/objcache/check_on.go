@@ -1,0 +1,22 @@
+//go:build simdebug
+
+package objcache
+
+import "fmt"
+
+// checkAccounting recomputes the segment's byte total from its resident
+// entries and panics on drift — the cache-side analogue of the arena
+// double-free panics: an accounting bug must fail loudly in debug builds,
+// not silently grow the proxy past its budget. Called with s.mu held.
+func checkAccounting(s *segment) {
+	var n int64
+	for e := s.lru.head; e != nil; e = e.next {
+		n += int64(len(e.obj.Body))
+	}
+	if n != s.bytes {
+		panic(fmt.Sprintf("objcache: segment accounting drift: list holds %d bytes, counter says %d", n, s.bytes))
+	}
+	if n > s.cap {
+		panic(fmt.Sprintf("objcache: segment over budget: %d resident bytes > %d cap", n, s.cap))
+	}
+}

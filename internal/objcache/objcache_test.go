@@ -1,0 +1,243 @@
+package objcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func obj(url, validator string, n int, fill byte) Object {
+	body := bytes.Repeat([]byte{fill}, n)
+	return Object{URL: url, ContentType: "text/plain", Status: 200, Validator: validator, Body: body}
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	cases := [][2]string{
+		{"http://A.Example.com/x", "http://a.example.com/x"},
+		{"HTTP://a.example.com/x", "http://a.example.com/x"},
+		{"http://a.example.com:80/x", "http://a.example.com/x"},
+		{"http://a.example.com/x#frag", "http://a.example.com/x"},
+		{"http://a.example.com/Path?Q=1", "http://a.example.com/Path?Q=1"}, // path/query stay case-sensitive
+		{"a.example.com/x", "a.example.com/x"},
+	}
+	for _, c := range cases {
+		if got := Key(c[0]); got != c[1] {
+			t.Errorf("Key(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestGetPutAndValidatorGenerations(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20, Segments: 4})
+	c.Put(obj("http://d0.test/a", "v1", 100, 'a'))
+	got, ok := c.Get("http://D0.test/a#frag")
+	if !ok || got.Body[0] != 'a' {
+		t.Fatalf("canonicalized lookup missed: ok=%v obj=%+v", ok, got)
+	}
+
+	// Same validator, different body: first insert wins (purity).
+	c.Put(obj("http://d0.test/a", "v1", 100, 'b'))
+	if got, _ := c.Get("http://d0.test/a"); got.Body[0] != 'a' {
+		t.Fatalf("same-validator re-put replaced the body: %q", got.Body[0])
+	}
+
+	// New validator: new generation replaces the entry.
+	c.Put(obj("http://d0.test/a", "v2", 50, 'c'))
+	got, _ = c.Get("http://d0.test/a")
+	if got.Validator != "v2" || got.Body[0] != 'c' || len(got.Body) != 50 {
+		t.Fatalf("new validator did not replace the entry: %+v", got)
+	}
+
+	// Error statuses are never admitted.
+	c.Put(Object{URL: "http://d0.test/404", Status: 404, Validator: "e", Body: []byte("nope")})
+	if _, ok := c.Get("http://d0.test/404"); ok {
+		t.Fatal("cache admitted a 404")
+	}
+}
+
+// TestEvictionBoundedMemory proves the byte budget holds under sustained
+// insertion pressure: resident bytes never exceed capacity, eviction counters
+// move, and recently-touched entries survive over cold ones.
+func TestEvictionBoundedMemory(t *testing.T) {
+	const capacity = 64 << 10
+	c := New(Config{Capacity: capacity, Segments: 4})
+	for i := 0; i < 2000; i++ {
+		c.Put(obj(fmt.Sprintf("http://d%d.test/o%d", i%7, i), "v", 1024, byte(i)))
+		if got := c.Bytes(); got > capacity {
+			t.Fatalf("insert %d: resident bytes %d exceed capacity %d", i, got, capacity)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("2 MB through a 64 KB cache evicted nothing")
+	}
+	if st.Bytes > st.Capacity {
+		t.Fatalf("stats report %d bytes over %d capacity", st.Bytes, st.Capacity)
+	}
+	if st.Entries != c.Len() {
+		t.Fatalf("stats entries %d != Len %d", st.Entries, c.Len())
+	}
+
+	// An object larger than a segment's share is refused outright.
+	c.Put(obj("http://huge.test/x", "v", capacity, 'h'))
+	if _, ok := c.Get("http://huge.test/x"); ok {
+		t.Fatal("cache admitted an object larger than a segment budget")
+	}
+
+	// LRU: touch one key, flood its segment, the touched key outlives peers
+	// inserted at the same time.
+	c2 := New(Config{Capacity: 8 << 10, Segments: 1})
+	c2.Put(obj("http://d.test/keep", "v", 1024, 'k'))
+	c2.Put(obj("http://d.test/drop", "v", 1024, 'd'))
+	c2.Get("http://d.test/keep")
+	for i := 0; i < 7; i++ {
+		c2.Put(obj(fmt.Sprintf("http://d.test/f%d", i), "v", 1024, byte(i)))
+	}
+	if _, ok := c2.Get("http://d.test/keep"); !ok {
+		t.Error("recently-touched entry was evicted before cold peers")
+	}
+	if _, ok := c2.Get("http://d.test/drop"); ok {
+		t.Error("cold entry survived while the segment overflowed")
+	}
+}
+
+// TestSingleFlightReturnsOneFetch asserts concurrent GetOrFetch misses on one
+// key share a single origin fetch and all observe its result.
+func TestSingleFlightReturnsOneFetch(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20, Segments: 2})
+	var fetches atomic.Int64
+	release := make(chan struct{})
+	const callers = 32
+	var wg sync.WaitGroup
+	results := make([]Object, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, hit, err := c.GetOrFetch("http://d.test/one", func() (Object, error) {
+				fetches.Add(1)
+				<-release
+				return obj("http://d.test/one", "v1", 64, 'x'), nil
+			})
+			if err != nil || hit {
+				t.Errorf("caller %d: hit=%v err=%v", i, hit, err)
+			}
+			results[i] = got
+		}(i)
+	}
+	// Let the herd pile onto the flight, then release the one fetch.
+	for c.Stats().Shared < callers-1 {
+	}
+	close(release)
+	wg.Wait()
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("%d callers caused %d fetches, want 1", callers, n)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r.Body, results[0].Body) {
+			t.Fatalf("caller %d observed a different body", i)
+		}
+	}
+	if st := c.Stats(); st.Shared != callers-1 {
+		t.Fatalf("shared counter %d, want %d", st.Shared, callers-1)
+	}
+	// The flight's result is now resident.
+	if _, hit, _ := c.GetOrFetch("http://d.test/one", nil); !hit {
+		t.Fatal("flight result not resident after completion")
+	}
+}
+
+// TestSingleFlightErrorNotCached: a failed fetch propagates to every joined
+// caller and leaves nothing resident, so the next caller retries.
+func TestSingleFlightErrorNotCached(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20, Segments: 1})
+	boom := errors.New("origin down")
+	_, _, err := c.GetOrFetch("http://d.test/x", func() (Object, error) { return Object{}, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want origin error", err)
+	}
+	var retried bool
+	_, hit, err := c.GetOrFetch("http://d.test/x", func() (Object, error) {
+		retried = true
+		return obj("http://d.test/x", "v", 8, 'y'), nil
+	})
+	if err != nil || hit || !retried {
+		t.Fatalf("after a failed flight: hit=%v err=%v retried=%v", hit, err, retried)
+	}
+}
+
+// TestConcurrentChurnPayloadIdentity is the -race battery: concurrent
+// get/put/evict across overlapping keys under eviction pressure, with the key
+// purity invariant checked on every read — one (key, validator) pair must
+// never yield two different payloads, no matter how the schedule interleaves.
+func TestConcurrentChurnPayloadIdentity(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 40
+		iters   = 2000
+	)
+	c := New(Config{Capacity: 24 << 10, Segments: 4}) // tight: constant eviction
+	bodyFor := func(k int) byte { return byte('A' + k%26) }
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				k := rng.Intn(keys)
+				url := fmt.Sprintf("http://d%d.test/obj%d", k%5, k)
+				switch rng.Intn(3) {
+				case 0:
+					c.Put(obj(url, "v1", 512+k, bodyFor(k)))
+				case 1:
+					if got, ok := c.Get(url); ok {
+						if got.Validator == "v1" && (len(got.Body) != 512+k || got.Body[0] != bodyFor(k)) {
+							t.Errorf("key %s yielded a foreign payload (len=%d first=%q)", url, len(got.Body), got.Body[0])
+							return
+						}
+					}
+				default:
+					got, hit, err := c.GetOrFetch(url, func() (Object, error) {
+						return obj(url, "v1", 512+k, bodyFor(k)), nil
+					})
+					if err != nil {
+						t.Errorf("GetOrFetch %s: %v", url, err)
+						return
+					}
+					_ = hit
+					if len(got.Body) != 512+k || got.Body[0] != bodyFor(k) {
+						t.Errorf("GetOrFetch %s yielded a foreign payload", url)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Bytes(); got > 24<<10 {
+		t.Fatalf("resident bytes %d exceed capacity after churn", got)
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 || st.Evictions == 0 {
+		t.Fatalf("churn did not exercise all paths: %+v", st)
+	}
+}
+
+// TestDisabledCacheAdmitsNothing: the zero-capacity cache is a valid sink.
+func TestDisabledCacheAdmitsNothing(t *testing.T) {
+	c := New(Config{Capacity: 0, Segments: 2})
+	c.Put(obj("http://d.test/a", "v", 10, 'a'))
+	if _, ok := c.Get("http://d.test/a"); ok {
+		t.Fatal("zero-capacity cache admitted an object")
+	}
+	if _, hit, err := c.GetOrFetch("http://d.test/a", func() (Object, error) {
+		return obj("http://d.test/a", "v", 10, 'a'), nil
+	}); hit || err != nil {
+		t.Fatalf("zero-capacity GetOrFetch: hit=%v err=%v", hit, err)
+	}
+}

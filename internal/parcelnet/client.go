@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/parcel-go/parcel/internal/metrics"
 	"github.com/parcel-go/parcel/internal/mhtml"
 )
 
@@ -96,6 +97,7 @@ type Client struct {
 	page     *PageRequest // active page, kept for session resume
 	notified bool
 	note     CompleteNote
+	shed     map[string]bool // URLs the proxy's admission control shed to us
 	rerr     error
 	closed   bool
 	degraded bool
@@ -115,6 +117,9 @@ type Client struct {
 	Retries int
 	// DirectFetches counts objects fetched from the origin in degraded mode.
 	DirectFetches int
+	// ShedReceived counts objects the proxy announced it would not push
+	// (admission control shed them); the client fetches those itself.
+	ShedReceived int
 
 	// FirstAt and CompleteAt are wall-clock milestones.
 	startedAt  time.Time
@@ -221,6 +226,32 @@ func (c *Client) readLoop(conn net.Conn) {
 			}
 			c.cond.Broadcast()
 			c.mu.Unlock()
+		case TShed:
+			var note ShedNote
+			if err := jsonUnmarshal(payload, &note); err != nil {
+				c.cfg.Logf("bad shed note: %v", err)
+				continue
+			}
+			c.mu.Lock()
+			if c.shed == nil {
+				c.shed = make(map[string]bool)
+			}
+			missing := make([]string, 0, len(note.URLs))
+			for _, u := range note.URLs {
+				c.shed[u] = true
+				if _, ok := c.store[u]; !ok {
+					missing = append(missing, u)
+				}
+			}
+			c.ShedReceived += len(note.URLs)
+			eager := c.cfg.DirectOrigin != "" && !c.closed
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			if eager {
+				// Recover the push benefit we lost: start fetching shed objects
+				// before the page asks for them.
+				go c.fetchShed(missing)
+			}
 		case TComplete:
 			var note CompleteNote
 			if err := jsonUnmarshal(payload, &note); err == nil {
@@ -364,6 +395,33 @@ func (c *Client) fetchDirect(url string) (mhtml.Part, error) {
 	return mhtml.Part{URL: url, ContentType: ct, Status: status, Body: body}, nil
 }
 
+// fetchShed pulls shed objects from the origin in the background so they are
+// resident by the time the page needs them (DIR semantics for just those
+// objects, not the whole page).
+func (c *Client) fetchShed(urls []string) {
+	for _, u := range urls {
+		c.mu.Lock()
+		_, have := c.store[u]
+		dead := c.closed || c.rerr != nil
+		c.mu.Unlock()
+		if have || dead {
+			continue
+		}
+		p, err := c.fetchDirect(u)
+		if err != nil {
+			c.cfg.Logf("shed fetch %s: %v", u, err)
+			continue
+		}
+		c.mu.Lock()
+		if _, dup := c.store[p.URL]; !dup {
+			c.order = append(c.order, p.URL)
+		}
+		c.store[p.URL] = p
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
 // Object returns the named object, waiting for it to be pushed. If the
 // completion notification has arrived and the object is still missing, a
 // fallback request is sent to the proxy (once) — or, in degraded mode,
@@ -401,6 +459,32 @@ func (c *Client) Object(url string, timeout time.Duration) (mhtml.Part, error) {
 			c.store[p.URL] = p
 			c.cond.Broadcast()
 			return p, nil
+		}
+		// A shed object will never be pushed: fetch it directly when we can,
+		// or fall back to an object request without waiting for completion.
+		if c.shed[url] && !requested {
+			if c.cfg.DirectOrigin != "" {
+				c.mu.Unlock()
+				p, err := c.fetchDirect(url)
+				c.mu.Lock()
+				if err != nil {
+					return mhtml.Part{}, err
+				}
+				if _, dup := c.store[p.URL]; !dup {
+					c.order = append(c.order, p.URL)
+				}
+				c.store[p.URL] = p
+				c.cond.Broadcast()
+				return p, nil
+			}
+			requested = true
+			c.Fallbacks++
+			fw := c.fw
+			go func() {
+				if err := fw.WriteJSON(TObjectRequest, ObjectRequest{URL: url}); err != nil {
+					c.cfg.Logf("shed object request for %s failed: %v", url, err)
+				}
+			}()
 		}
 		if c.notified && !requested {
 			requested = true
@@ -460,4 +544,29 @@ func (c *Client) Has(url string) bool {
 	defer c.mu.Unlock()
 	_, ok := c.store[url]
 	return ok
+}
+
+// SessionLoad snapshots this client's page load as one fleet sample: latency
+// to the completion notification, push/cache counters from the proxy's
+// CompleteNote, and the bytes that crossed the proxy→client link (egress).
+func (c *Client) SessionLoad(id int) metrics.SessionLoad {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := metrics.SessionLoad{
+		ID:          id,
+		Completed:   c.notified && c.rerr == nil,
+		CacheHits:   c.note.CacheHits,
+		CacheMisses: c.note.CacheMisses,
+		EgressBytes: c.BytesReceived,
+		OriginBytes: c.note.OriginBytes,
+		Deferred:    c.note.ObjectsDeferred,
+		Shed:        c.note.ObjectsShed,
+	}
+	if c.page != nil {
+		l.Page = c.page.URL
+	}
+	if !c.startedAt.IsZero() && !c.CompleteAt.IsZero() {
+		l.Latency = c.CompleteAt.Sub(c.startedAt)
+	}
+	return l
 }

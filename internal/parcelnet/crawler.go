@@ -21,11 +21,16 @@ type Object struct {
 	Body        []byte
 }
 
+// fetchFunc retrieves one logical URL. Sessions inject it so the crawler is
+// agnostic to where bytes come from: a plain origin fetcher, or the shared
+// cross-session object cache with single-flight de-duplication in front.
+type fetchFunc func(url string) (body []byte, contentType string, status int, err error)
+
 // crawler performs the proxy-side object identification of §4.2 over real
 // HTTP: it parses HTML and CSS and executes page JavaScript to discover
 // every object, fetching concurrently on the proxy's fast path.
 type crawler struct {
-	fetch       *OriginFetcher
+	fetch       fetchFunc
 	fixedRandom bool
 	maxDepth    int
 	onObject    func(Object) // called once per fetched object
@@ -55,7 +60,7 @@ type crawler struct {
 	Errors []error
 }
 
-func newCrawler(fetch *OriginFetcher, fixedRandom bool, onObject func(Object), onLoad, onIdle func()) *crawler {
+func newCrawler(fetch fetchFunc, fixedRandom bool, onObject func(Object), onLoad, onIdle func()) *crawler {
 	c := &crawler{
 		fetch:       fetch,
 		fixedRandom: fixedRandom,
@@ -95,7 +100,7 @@ func (c *crawler) request(url string, blocking bool, depth int) {
 	c.mu.Unlock()
 
 	go func() {
-		body, ct, status, err := c.fetch.Fetch(url)
+		body, ct, status, err := c.fetch(url)
 		obj := Object{URL: url, ContentType: ct, Status: status, Body: body}
 		if err != nil {
 			c.addError(err)

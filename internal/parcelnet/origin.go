@@ -2,10 +2,12 @@ package parcelnet
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -59,6 +61,7 @@ func (o *Origin) handle(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", obj.ContentType)
 	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(obj.Body)))
+	w.Header().Set("ETag", `"`+BodyValidator(obj.Body)+`"`)
 	status := obj.Status
 	if status == 0 {
 		status = http.StatusOK
@@ -75,36 +78,65 @@ type OriginFetcher struct {
 	Client     *http.Client
 }
 
-// NewOriginFetcher builds a fetcher against the origin at addr.
-func NewOriginFetcher(addr string) *OriginFetcher {
+// NewOriginFetcher builds a fetcher against the origin at addr, sized for one
+// session (the paper's six connections per domain).
+func NewOriginFetcher(addr string) *OriginFetcher { return NewOriginFetcherN(addr, 6) }
+
+// NewOriginFetcherN builds a fetcher with an explicit connection budget. The
+// multi-tenant proxy shares one fetcher across every session, so its pool
+// must be provisioned for the fleet, not one page: all logical domains
+// resolve to the single origin address, and http.Transport pools by that
+// address, so maxConns bounds the proxy↔origin connection count globally.
+func NewOriginFetcherN(addr string, maxConns int) *OriginFetcher {
 	return &OriginFetcher{
 		OriginAddr: addr,
 		Client: &http.Client{
 			Timeout: 30 * time.Second,
 			Transport: &http.Transport{
-				MaxIdleConnsPerHost: 6,
-				MaxConnsPerHost:     6,
+				MaxIdleConnsPerHost: maxConns,
+				MaxConnsPerHost:     maxConns,
 			},
 		},
 	}
 }
 
+// BodyValidator derives the content digest the origin serves as its ETag: a
+// cheap stand-in for a real origin's validator that still guarantees "same
+// validator ⇒ same bytes", the invariant the shared object cache is built on.
+func BodyValidator(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
 // Fetch retrieves a logical URL, returning the body and content type.
 func (f *OriginFetcher) Fetch(logicalURL string) (body []byte, contentType string, status int, err error) {
+	body, contentType, status, _, err = f.FetchValidated(logicalURL)
+	return body, contentType, status, err
+}
+
+// FetchValidated is Fetch plus the origin's validator (the ETag, unquoted; a
+// content digest of the body when the origin sends none, so the validator is
+// never empty for a successful response).
+func (f *OriginFetcher) FetchValidated(logicalURL string) (body []byte, contentType string, status int, validator string, err error) {
 	domain, path := httpsim.SplitURL(logicalURL)
 	req, err := http.NewRequest(http.MethodGet, "http://"+f.OriginAddr+path, nil)
 	if err != nil {
-		return nil, "", 0, err
+		return nil, "", 0, "", err
 	}
 	req.Host = domain
 	resp, err := f.Client.Do(req)
 	if err != nil {
-		return nil, "", 0, fmt.Errorf("fetch %s: %w", logicalURL, err)
+		return nil, "", 0, "", fmt.Errorf("fetch %s: %w", logicalURL, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, "", 0, err
+		return nil, "", 0, "", err
 	}
-	return data, resp.Header.Get("Content-Type"), resp.StatusCode, nil
+	validator = strings.Trim(resp.Header.Get("ETag"), `"`)
+	if validator == "" {
+		validator = BodyValidator(data)
+	}
+	return data, resp.Header.Get("Content-Type"), resp.StatusCode, validator, nil
 }

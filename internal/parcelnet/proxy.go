@@ -3,11 +3,15 @@ package parcelnet
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/parcel-go/parcel/internal/mhtml"
+	"github.com/parcel-go/parcel/internal/objcache"
 	"github.com/parcel-go/parcel/internal/sched"
 )
 
@@ -27,20 +31,69 @@ type ProxyConfig struct {
 	IdleTimeout time.Duration
 	// FixedRandom applies the §7.3 replay rewrite in page JS.
 	FixedRandom bool
+
+	// Shards is the accept-side sharding width: sessions are hashed onto
+	// Shards independent registries so registration, reaping, and counters
+	// never contend on one proxy-wide lock. 0 means GOMAXPROCS.
+	Shards int
+	// CacheBytes enables the cross-session object cache with the given byte
+	// budget: origin objects fetched for one session are served to every
+	// other session from memory, single-flighted so concurrent misses cost
+	// one origin fetch. 0 disables the cache (each session fetches its own
+	// objects, the pre-multi-tenant behaviour).
+	CacheBytes int64
+	// OriginConns bounds the proxy-wide origin connection pool (the shared
+	// fetcher replaces the historical per-session fetchers, whose pools
+	// multiplied by session count). 0 means 64 — the paper's
+	// "well-provisioned" server pool (§4.3).
+	OriginConns int
+	// SessionPushBudget bounds the encoded-but-unsent bundle bytes queued per
+	// session. When a flush would exceed it, the items are deferred — parked
+	// and re-admitted as the client drains — instead of growing the queue
+	// without bound behind a slow reader. 0 means 8 MB; negative disables
+	// the budget.
+	SessionPushBudget int64
+	// ProxyPushBudget bounds queued bundle bytes across all sessions. When a
+	// flush cannot reserve against it, the items are shed: the client is told
+	// (TShed) to fetch them over its direct-origin path, trading push benefit
+	// for bounded memory. 0 means 64 MB; negative disables the budget.
+	ProxyPushBudget int64
+	// WrapConn, when set, wraps every accepted connection before the session
+	// reads from it (tests use it to shape the server side or shrink socket
+	// buffers so backpressure is reachable at test scale).
+	WrapConn func(net.Conn) net.Conn
+
 	// Logf, when set, receives diagnostic lines.
 	Logf func(format string, args ...any)
 }
 
-// Proxy is a running real-network PARCEL proxy.
+// Proxy is a running real-network PARCEL proxy: a listener fanning sessions
+// out over shards, a shared origin fetcher, and (optionally) the
+// cross-session object cache and push-budget admission control.
 type Proxy struct {
-	cfg ProxyConfig
-	ln  net.Listener
-	wg  sync.WaitGroup
+	cfg   ProxyConfig
+	ln    net.Listener
+	wg    sync.WaitGroup
+	fetch *OriginFetcher
+	cache *objcache.Cache // nil when CacheBytes == 0
 
+	// queued is the proxy-wide reservation counter for encoded-but-unsent
+	// bundle bytes; deferred/shedTotal aggregate admission outcomes.
+	queued    atomic.Int64
+	deferred  atomic.Int64
+	shedTotal atomic.Int64
+	closed    atomic.Bool
+
+	shards []*shard
+}
+
+// shard owns one slice of the accept-side state: its own lock, session
+// registry, and served counter. Sessions are hashed onto shards by client
+// address, so a stalled or churning tenant contends only with its shard.
+type shard struct {
 	mu     sync.Mutex
 	active map[*session]struct{}
 	served int
-	closed bool
 }
 
 // StartProxy listens on addr and serves PARCEL sessions.
@@ -54,6 +107,18 @@ func StartProxy(addr string, cfg ProxyConfig) (*Proxy, error) {
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = 2 * time.Minute
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.OriginConns <= 0 {
+		cfg.OriginConns = 64
+	}
+	if cfg.SessionPushBudget == 0 {
+		cfg.SessionPushBudget = 8 << 20
+	}
+	if cfg.ProxyPushBudget == 0 {
+		cfg.ProxyPushBudget = 64 << 20
+	}
 	if err := cfg.Sched.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,7 +129,18 @@ func StartProxy(addr string, cfg ProxyConfig) (*Proxy, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Proxy{cfg: cfg, ln: ln, active: make(map[*session]struct{})}
+	p := &Proxy{
+		cfg:   cfg,
+		ln:    ln,
+		fetch: NewOriginFetcherN(cfg.OriginAddr, cfg.OriginConns),
+	}
+	if cfg.CacheBytes > 0 {
+		p.cache = objcache.New(objcache.Config{Capacity: cfg.CacheBytes, Segments: cfg.Shards})
+	}
+	p.shards = make([]*shard, cfg.Shards)
+	for i := range p.shards {
+		p.shards[i] = &shard{active: make(map[*session]struct{})}
+	}
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
@@ -76,33 +152,93 @@ func (p *Proxy) Addr() string { return p.ln.Addr().String() }
 // Close stops accepting sessions, tears down the active ones, and waits for
 // their goroutines to exit.
 func (p *Proxy) Close() error {
-	p.mu.Lock()
-	p.closed = true
-	conns := make([]net.Conn, 0, len(p.active))
-	for s := range p.active {
-		conns = append(conns, s.conn)
-	}
-	p.mu.Unlock()
+	p.closed.Store(true)
 	err := p.ln.Close()
-	for _, c := range conns {
-		c.Close()
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		conns := make([]net.Conn, 0, len(sh.active))
+		for s := range sh.active {
+			conns = append(conns, s.conn)
+		}
+		sh.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
 	}
 	p.wg.Wait()
+	p.fetch.Client.CloseIdleConnections()
 	return err
 }
 
-// Sessions returns the number of currently active sessions.
+// Sessions returns the number of currently active sessions across shards.
 func (p *Proxy) Sessions() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.active)
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += len(sh.active)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // SessionsServed returns the total number of sessions accepted so far.
 func (p *Proxy) SessionsServed() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.served
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += sh.served
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ShardSessions returns the per-shard session counts (in shard order) — the
+// observability hook the multi-tenant tests assert shard distribution and
+// reaping against.
+func (p *Proxy) ShardSessions() []int {
+	out := make([]int, len(p.shards))
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		out[i] = len(sh.active)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// CacheStats returns the shared object cache's counters (zero when disabled).
+func (p *Proxy) CacheStats() objcache.Stats {
+	if p.cache == nil {
+		return objcache.Stats{}
+	}
+	return p.cache.Stats()
+}
+
+// QueuedBytes returns the current proxy-wide reservation against
+// ProxyPushBudget: encoded bundle bytes accepted but not yet written.
+func (p *Proxy) QueuedBytes() int64 { return p.queued.Load() }
+
+// DeferredTotal returns how many objects admission control has parked behind
+// slow readers so far (they are re-admitted as the session drains).
+func (p *Proxy) DeferredTotal() int64 { return p.deferred.Load() }
+
+// ShedTotal returns how many objects admission control has shed to clients'
+// direct-origin paths so far.
+func (p *Proxy) ShedTotal() int64 { return p.shedTotal.Load() }
+
+// reserve claims n bytes of the proxy-wide push budget, failing when the
+// budget is exhausted (the shed signal). Reservations are released as the
+// writer drains frames.
+func (p *Proxy) reserve(n int64) bool {
+	budget := p.cfg.ProxyPushBudget
+	for {
+		cur := p.queued.Load()
+		if budget > 0 && cur+n > budget {
+			return false
+		}
+		if p.queued.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
 }
 
 func (p *Proxy) acceptLoop() {
@@ -120,44 +256,85 @@ func (p *Proxy) acceptLoop() {
 	}
 }
 
+// shardFor hashes a client address onto a shard.
+func (p *Proxy) shardFor(addr string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(addr))
+	return p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+// outFrame is one queued write: an encoded frame plus the bytes it reserved
+// against the session and proxy push budgets (0 for control frames).
+type outFrame struct {
+	typ      byte
+	payload  []byte
+	reserved int64
+}
+
 // session is the per-connection proxy state.
 type session struct {
 	proxy *Proxy
+	shard *shard
 	conn  net.Conn
 	fw    *FrameWriter
 
-	mu           sync.Mutex
+	mu       sync.Mutex
+	sendCond *sync.Cond
+	// sendq is the write queue the session's writer goroutine drains; the
+	// serve loop, the crawler callbacks, and the quiet timer only ever
+	// enqueue, so a slow client blocks its writer, never the proxy.
+	sendq      []outFrame
+	sendqBytes int64
+	writerDone chan struct{}
+	// parked holds deferred items: flushed by the bundler while the session
+	// budget was full, re-admitted as the writer drains.
+	parked []sched.Item
+
 	bundler      *sched.Bundler
-	cache        map[string]Object
-	have         map[string]bool // resume manifest: objects the client holds
+	cache        map[string]Object // session view; bodies nil when the shared cache holds them
+	have         map[string]bool   // resume manifest: objects the client holds
 	quiet        *time.Timer
 	onloadSeen   bool
 	completeSent bool
 	closed       bool
+
 	pushed       int
 	pushedBytes  int64
 	skipped      int
-
-	fetch *OriginFetcher
+	deferredSeen int
+	shedSeen     int
+	cacheHits    int
+	cacheMisses  int
+	originBytes  int64
+	sharedBodies bool
 }
 
 func (p *Proxy) serve(conn net.Conn) {
-	s := &session{
-		proxy: p,
-		conn:  conn,
-		fw:    NewFrameWriter(conn),
-		cache: make(map[string]Object),
-		fetch: NewOriginFetcher(p.cfg.OriginAddr),
+	if p.cfg.WrapConn != nil {
+		conn = p.cfg.WrapConn(conn)
 	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	sh := p.shardFor(conn.RemoteAddr().String())
+	s := &session{
+		proxy:        p,
+		shard:        sh,
+		conn:         conn,
+		fw:           NewFrameWriter(conn),
+		cache:        make(map[string]Object),
+		writerDone:   make(chan struct{}),
+		sharedBodies: p.cache != nil,
+	}
+	s.sendCond = sync.NewCond(&s.mu)
+	sh.mu.Lock()
+	if p.closed.Load() {
+		sh.mu.Unlock()
 		conn.Close()
+		close(s.writerDone)
 		return
 	}
-	p.served++
-	p.active[s] = struct{}{}
-	p.mu.Unlock()
+	sh.served++
+	sh.active[s] = struct{}{}
+	sh.mu.Unlock()
+	go s.writeLoop()
 	defer s.teardown()
 	for {
 		if p.cfg.IdleTimeout > 0 {
@@ -192,8 +369,9 @@ func (p *Proxy) serve(conn net.Conn) {
 }
 
 // teardown releases everything a session holds: the connection, the pending
-// quiet timer, and the fetcher's idle origin connections. It runs exactly
-// once, when serve returns, and unregisters the session from the proxy.
+// quiet timer, the writer goroutine, and any push-budget reservations. It
+// runs exactly once, when serve returns, and unregisters the session from its
+// shard.
 func (s *session) teardown() {
 	s.mu.Lock()
 	s.closed = true
@@ -201,13 +379,82 @@ func (s *session) teardown() {
 		s.quiet.Stop()
 		s.quiet = nil
 	}
+	s.sendCond.Broadcast()
 	s.mu.Unlock()
 	s.conn.Close()
-	s.fetch.Client.CloseIdleConnections()
-	p := s.proxy
-	p.mu.Lock()
-	delete(p.active, s)
-	p.mu.Unlock()
+	<-s.writerDone
+	sh := s.shard
+	sh.mu.Lock()
+	delete(sh.active, s)
+	sh.mu.Unlock()
+}
+
+// writeLoop is the session's writer goroutine: it drains the send queue onto
+// the connection, releases budget reservations as frames leave, and
+// re-admits parked (deferred) items as space frees up. On a write error it
+// closes the connection so the read side tears the session down.
+func (s *session) writeLoop() {
+	defer close(s.writerDone)
+	for {
+		s.mu.Lock()
+		for len(s.sendq) == 0 && !s.closed {
+			s.sendCond.Wait()
+		}
+		if s.closed {
+			s.drainLocked()
+			s.mu.Unlock()
+			return
+		}
+		f := s.sendq[0]
+		s.sendq[0] = outFrame{}
+		s.sendq = s.sendq[1:]
+		s.mu.Unlock()
+
+		err := s.fw.Write(f.typ, f.payload)
+
+		s.mu.Lock()
+		if f.reserved > 0 {
+			s.sendqBytes -= f.reserved
+			s.proxy.queued.Add(-f.reserved)
+		}
+		if err != nil {
+			s.proxy.cfg.Logf("session write: %v", err)
+			s.drainLocked()
+			s.mu.Unlock()
+			s.conn.Close()
+			return
+		}
+		s.promoteParkedLocked()
+		s.mu.Unlock()
+	}
+}
+
+// drainLocked releases every remaining reservation of a dying session so the
+// proxy-wide budget is never leaked by disconnects.
+func (s *session) drainLocked() {
+	for _, f := range s.sendq {
+		if f.reserved > 0 {
+			s.sendqBytes -= f.reserved
+			s.proxy.queued.Add(-f.reserved)
+		}
+	}
+	s.sendq = nil
+}
+
+// enqueueLocked appends one frame to the send queue and wakes the writer.
+func (s *session) enqueueLocked(f outFrame) {
+	s.sendq = append(s.sendq, f)
+	s.sendCond.Signal()
+}
+
+// enqueueJSONLocked queues a small control frame (no budget reservation).
+func (s *session) enqueueJSONLocked(typ byte, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.proxy.cfg.Logf("encode control frame %d: %v", typ, err)
+		return
+	}
+	s.enqueueLocked(outFrame{typ: typ, payload: data})
 }
 
 func (s *session) startPage(req PageRequest) {
@@ -221,7 +468,7 @@ func (s *session) startPage(req PageRequest) {
 	s.bundler = sched.NewBundler(cfg.Sched, s.flushLocked)
 	s.mu.Unlock()
 
-	crawl := newCrawler(s.fetch, cfg.FixedRandom,
+	crawl := newCrawler(s.fetchURL, cfg.FixedRandom,
 		func(obj Object) { s.collect(obj) },
 		func() { s.onLoad() },
 		func() { /* completion handled by the quiet heuristic */ },
@@ -229,12 +476,56 @@ func (s *session) startPage(req PageRequest) {
 	crawl.start(req.URL)
 }
 
+// fetchURL is the session's object source: the shared cross-session cache
+// when enabled (counting per-session hits/misses and attributing origin
+// bytes to the session that actually caused the fetch), a plain origin fetch
+// otherwise.
+func (s *session) fetchURL(url string) ([]byte, string, int, error) {
+	p := s.proxy
+	if p.cache == nil {
+		body, ct, status, err := p.fetch.Fetch(url)
+		if err == nil {
+			s.mu.Lock()
+			s.originBytes += int64(len(body))
+			s.mu.Unlock()
+		}
+		return body, ct, status, err
+	}
+	performed := false
+	obj, hit, err := p.cache.GetOrFetch(url, func() (objcache.Object, error) {
+		performed = true
+		body, ct, status, validator, ferr := p.fetch.FetchValidated(url)
+		if ferr != nil {
+			return objcache.Object{}, ferr
+		}
+		// Only the session whose fetch actually ran pays the origin bytes;
+		// single-flight joiners get the object for free.
+		s.mu.Lock()
+		s.originBytes += int64(len(body))
+		s.mu.Unlock()
+		return objcache.Object{URL: url, ContentType: ct, Status: status, Validator: validator, Body: body}, nil
+	})
+	s.mu.Lock()
+	// A session-level hit is any lookup that cost this session no origin
+	// fetch: a resident entry, or joining another session's flight.
+	if hit || (!performed && err == nil) {
+		s.cacheHits++
+	} else {
+		s.cacheMisses++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, "", 0, err
+	}
+	return obj.Body, obj.ContentType, obj.Status, nil
+}
+
 // collect feeds one crawled object into the schedule and resets the §4.5
 // inactivity window. Objects the resume manifest already lists are cached
 // (they can still be served via fallback) but not re-pushed.
 func (s *session) collect(obj Object) {
 	s.mu.Lock()
-	s.cache[obj.URL] = obj
+	s.storeLocked(obj)
 	if s.have[obj.URL] {
 		s.skipped++
 		if s.onloadSeen {
@@ -244,8 +535,10 @@ func (s *session) collect(obj Object) {
 		return
 	}
 	if s.completeSent {
+		// Objects arriving after the completion notification (missed by the
+		// heuristic) are pushed individually so the client is never starved.
+		s.flushLocked([]sched.Item{itemFromObject(obj)}, sched.FlushComplete)
 		s.mu.Unlock()
-		s.push([]sched.Item{itemFromObject(obj)}, sched.FlushComplete)
 		return
 	}
 	s.bundler.Add(itemFromObject(obj))
@@ -253,6 +546,17 @@ func (s *session) collect(obj Object) {
 		s.armQuietLocked()
 	}
 	s.mu.Unlock()
+}
+
+// storeLocked records the session's view of an object. With the shared cache
+// enabled only metadata is kept — the body lives (deduplicated) in the cache
+// and fallback requests re-resolve through it — so N sessions of one page
+// cost one body, not N.
+func (s *session) storeLocked(obj Object) {
+	if s.sharedBodies {
+		obj.Body = nil
+	}
+	s.cache[obj.URL] = obj
 }
 
 func (s *session) onLoad() {
@@ -281,61 +585,177 @@ func (s *session) declareComplete() {
 	}
 	s.completeSent = true
 	s.bundler.Complete()
-	note := CompleteNote{ObjectsPushed: s.pushed, BytesPushed: s.pushedBytes, ObjectsSkipped: s.skipped}
-	s.mu.Unlock()
-	if err := s.fw.WriteJSON(TComplete, note); err != nil {
-		s.proxy.cfg.Logf("send complete: %v", err)
+	// Parked items that still cannot be admitted are shed now: the page must
+	// terminate with the client knowing everything it has to fetch itself.
+	if len(s.parked) > 0 {
+		s.shedLocked(s.parked)
+		s.parked = nil
 	}
+	note := CompleteNote{
+		ObjectsPushed:   s.pushed,
+		BytesPushed:     s.pushedBytes,
+		ObjectsSkipped:  s.skipped,
+		ObjectsDeferred: s.deferredSeen,
+		ObjectsShed:     s.shedSeen,
+		CacheHits:       s.cacheHits,
+		CacheMisses:     s.cacheMisses,
+		OriginBytes:     s.originBytes,
+	}
+	// The note rides the send queue so it cannot overtake queued bundles.
+	s.enqueueJSONLocked(TComplete, note)
+	s.mu.Unlock()
 }
 
 func itemFromObject(o Object) sched.Item {
 	return sched.Item{URL: o.URL, ContentType: o.ContentType, Status: o.Status, Body: o.Body}
 }
 
-// flushLocked transmits one bundle; the bundler invokes it with s.mu held.
+// flushLocked admits one scheduled bundle; the bundler invokes it with s.mu
+// held. Admission control happens here: within the session budget the bundle
+// is encoded and queued; over it, items are deferred (parked for re-admission
+// as the writer drains); and when the proxy-wide budget cannot cover the
+// bundle, items are shed to the client's direct-origin path.
 func (s *session) flushLocked(items []sched.Item, reason sched.FlushReason) {
-	s.pushed += len(items)
-	for _, it := range items {
-		s.pushedBytes += int64(len(it.Body))
+	s.admitLocked(items)
+}
+
+func (s *session) admitLocked(items []sched.Item) {
+	if len(items) == 0 || s.closed {
+		return
 	}
-	// Encode and write outside the lock via goroutine-safe FrameWriter;
-	// ordering is preserved because flushes happen under s.mu in order and
-	// the encode below is done before releasing... encoding is cheap enough
-	// to do inline.
 	parts := make([]mhtml.Part, len(items))
+	var bodyBytes int64
 	for i, it := range items {
 		parts[i] = mhtml.Part{URL: it.URL, ContentType: it.ContentType, Status: it.Status, Body: it.Body}
+		bodyBytes += int64(len(it.Body))
 	}
-	if err := s.fw.Write(TBundle, mhtml.Encode(parts)); err != nil {
-		s.proxy.cfg.Logf("send bundle: %v", err)
+	payload := mhtml.Encode(parts)
+	n := int64(len(payload))
+	// Defer: the session's queue is occupied and this bundle would blow its
+	// budget. Park the items — the writer re-admits them as frames drain, and
+	// completion sheds whatever never fit. A bundle arriving at an empty
+	// queue is always admitted so a single oversized flush cannot livelock.
+	if b := s.proxy.cfg.SessionPushBudget; b > 0 && s.sendqBytes > 0 && s.sendqBytes+n > b {
+		s.parkLocked(items)
+		return
+	}
+	// The proxy-wide budget has no room. With frames still queued this is
+	// another deferral (our own drain releases budget, so retrying is
+	// guaranteed progress); with an empty queue nothing of ours will drain,
+	// so the items are shed: the client fetches them itself (DIR
+	// degradation) instead of the proxy queueing unboundedly.
+	if !s.proxy.reserve(n) {
+		if s.sendqBytes > 0 {
+			s.parkLocked(items)
+		} else {
+			s.shedLocked(items)
+		}
+		return
+	}
+	s.pushed += len(items)
+	s.pushedBytes += bodyBytes
+	s.sendqBytes += n
+	s.enqueueLocked(outFrame{typ: TBundle, payload: payload, reserved: n})
+}
+
+// shedLocked records and announces shed objects.
+func (s *session) shedLocked(items []sched.Item) {
+	urls := make([]string, len(items))
+	for i, it := range items {
+		urls[i] = it.URL
+	}
+	s.shedSeen += len(items)
+	s.proxy.shedTotal.Add(int64(len(items)))
+	s.enqueueJSONLocked(TShed, ShedNote{URLs: urls})
+}
+
+// parkLocked defers items for later re-admission, counting each object once.
+func (s *session) parkLocked(items []sched.Item) {
+	s.parked = append(s.parked, items...)
+	s.deferredSeen += len(items)
+	s.proxy.deferred.Add(int64(len(items)))
+}
+
+// promoteParkedLocked re-admits deferred items once the queue has drained
+// below the session budget — one item per bundle, so a long parked backlog
+// refills the queue incrementally instead of as one budget-busting batch.
+// Re-admission may re-park a tail that still does not fit; an empty queue
+// admits unconditionally, so parked items always make progress once the
+// client catches up.
+func (s *session) promoteParkedLocked() {
+	if len(s.parked) == 0 || s.closed {
+		return
+	}
+	if b := s.proxy.cfg.SessionPushBudget; b > 0 && s.sendqBytes > 0 && s.sendqBytes >= b/2 {
+		return
+	}
+	items := s.parked
+	s.parked = nil
+	for i, it := range items {
+		if len(s.parked) > 0 {
+			// Admission started parking again: keep the rest parked in order
+			// without re-counting them as new deferrals.
+			s.parked = append(s.parked, items[i:]...)
+			break
+		}
+		s.admitOneLocked(it)
 	}
 }
 
-// push sends items outside the bundler path (post-completion stragglers).
-func (s *session) push(items []sched.Item, reason sched.FlushReason) {
-	s.mu.Lock()
-	s.flushLocked(items, reason)
-	s.mu.Unlock()
+// admitOneLocked re-admits a single previously-deferred item. Unlike
+// admitLocked it does not re-count a parked item as a new deferral.
+func (s *session) admitOneLocked(it sched.Item) {
+	payload := mhtml.Encode([]mhtml.Part{{URL: it.URL, ContentType: it.ContentType, Status: it.Status, Body: it.Body}})
+	n := int64(len(payload))
+	if b := s.proxy.cfg.SessionPushBudget; b > 0 && s.sendqBytes > 0 && s.sendqBytes+n > b {
+		s.parked = append(s.parked, it)
+		return
+	}
+	if !s.proxy.reserve(n) {
+		if s.sendqBytes > 0 {
+			s.parked = append(s.parked, it)
+		} else {
+			s.shedLocked([]sched.Item{it})
+		}
+		return
+	}
+	s.pushed++
+	s.pushedBytes += int64(len(it.Body))
+	s.sendqBytes += n
+	s.enqueueLocked(outFrame{typ: TBundle, payload: payload, reserved: n})
 }
 
-// serveFallback answers a missing-object request from cache or the origin.
+// serveFallback answers a missing-object request from the session's view or
+// the origin. With the shared cache enabled the body is re-resolved through
+// it (a hit for anything recently pushed).
 func (s *session) serveFallback(url string) {
 	s.mu.Lock()
 	obj, ok := s.cache[url]
 	s.mu.Unlock()
-	if !ok {
-		body, ct, status, err := s.fetch.Fetch(url)
+	if !ok || (obj.Body == nil && obj.Status < 400) {
+		body, ct, status, err := s.fetchURL(url)
 		if err != nil {
 			s.proxy.cfg.Logf("fallback fetch %s: %v", url, err)
 			status = 502
 		}
+		if ok && obj.Body == nil {
+			// The session saw this object before; serve the cached identity's
+			// content type when the refetch lost it.
+			if ct == "" {
+				ct = obj.ContentType
+			}
+		}
 		obj = Object{URL: url, ContentType: ct, Status: status, Body: body}
 		s.mu.Lock()
-		s.cache[url] = obj
+		s.storeLocked(obj)
 		s.mu.Unlock()
 	}
 	enc := mhtml.Encode([]mhtml.Part{{URL: obj.URL, ContentType: obj.ContentType, Status: obj.Status, Body: obj.Body}})
-	if err := s.fw.Write(TObjectResponse, enc); err != nil {
-		s.proxy.cfg.Logf("send object response: %v", err)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
 	}
+	s.enqueueLocked(outFrame{typ: TObjectResponse, payload: enc})
+	s.mu.Unlock()
 }

@@ -22,6 +22,7 @@ const (
 	TComplete         // payload: JSON CompleteNote
 	TObjectRequest
 	TObjectResponse // payload: MHTML bundle with one part
+	TShed           // payload: JSON ShedNote — objects the proxy will not push
 )
 
 // maxFrame bounds a frame payload (64 MB) against corrupt length prefixes.
@@ -38,11 +39,28 @@ type PageRequest struct {
 }
 
 // CompleteNote is the §4.5 completion notification. ObjectsSkipped counts
-// objects withheld because the resume manifest already listed them.
+// objects withheld because the resume manifest already listed them. The
+// remaining counters surface the multi-tenant proxy's per-session view:
+// admission-control outcomes (deferred pushes that were delivered late, shed
+// pushes the client must fetch itself) and shared-object-cache effectiveness
+// (hits, misses, and the origin bytes this session actually cost).
 type CompleteNote struct {
-	ObjectsPushed  int   `json:"objects_pushed"`
-	BytesPushed    int64 `json:"bytes_pushed"`
-	ObjectsSkipped int   `json:"objects_skipped,omitempty"`
+	ObjectsPushed   int   `json:"objects_pushed"`
+	BytesPushed     int64 `json:"bytes_pushed"`
+	ObjectsSkipped  int   `json:"objects_skipped,omitempty"`
+	ObjectsDeferred int   `json:"objects_deferred,omitempty"`
+	ObjectsShed     int   `json:"objects_shed,omitempty"`
+	CacheHits       int   `json:"cache_hits,omitempty"`
+	CacheMisses     int   `json:"cache_misses,omitempty"`
+	OriginBytes     int64 `json:"origin_bytes,omitempty"`
+}
+
+// ShedNote tells the client which objects the proxy's admission control
+// dropped from the push schedule: the client completes them itself over the
+// PR 4 direct-origin path (or a fallback object request). Shedding trades
+// PARCEL's push benefit for bounded proxy memory — DIR degradation, not OOM.
+type ShedNote struct {
+	URLs []string `json:"urls"`
 }
 
 // ObjectRequest is the client's missing-object fallback.
