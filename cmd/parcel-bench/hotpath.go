@@ -13,6 +13,7 @@ import (
 	"github.com/parcel-go/parcel/internal/htmlparse"
 	"github.com/parcel-go/parcel/internal/metrics"
 	"github.com/parcel-go/parcel/internal/minijs"
+	"github.com/parcel-go/parcel/internal/parcelnet"
 	"github.com/parcel-go/parcel/internal/scenario"
 	"github.com/parcel-go/parcel/internal/webgen"
 )
@@ -71,6 +72,12 @@ type hotpathReport struct {
 	// Minijs tracks the interpreter's own trajectory (compile-cache hit
 	// path and steady-state execution), like simnet/htmlparse/trace.
 	Minijs []hotpathCase `json:"minijs"`
+	// Wire is the parcelmux frame path. The encode/decode data path and the
+	// HPACK-lite meta encoder are gated at zero allocs/op (WireZeroAlloc);
+	// meta decode materializes a URL string per object so it is measured but
+	// not gated.
+	Wire          []hotpathCase `json:"wire"`
+	WireZeroAlloc bool          `json:"wire_zero_alloc"`
 }
 
 // benchHotpath measures the allocation profile of the simulator's hot paths
@@ -187,9 +194,71 @@ func benchHotpath(w io.Writer, path string) error {
 		}},
 	}
 
+	// Wire cases benchmark the parcelmux frame path: steady-state data
+	// encode (sender scratch reuse) and decode (assembler append into the
+	// preallocated body), plus the HPACK-lite meta codec. The per-stream
+	// setup (open frame, body buffer) amortizes across a whole stream cycle,
+	// so anything above 0 allocs/op means the per-chunk path regressed.
+	wireGated := map[string]bool{
+		"MuxEncodeData": true,
+		"MuxDecodeData": true,
+		"MuxMetaEncode": true,
+	}
+	wireCases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"MuxEncodeData", func(b *testing.B) {
+			wb := parcelnet.NewWireBench(4<<20, 32<<10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wb.EncodeStep()
+			}
+		}},
+		{"MuxDecodeData", func(b *testing.B) {
+			wb := parcelnet.NewWireBench(4<<20, 32<<10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := wb.DecodeStep(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"MuxMetaEncode", func(b *testing.B) {
+			var enc parcelnet.MetaEncoder
+			// First call inserts the origin prefix; the timed loop measures
+			// the indexed repeat-origin path a bundle's tail objects take.
+			dst := enc.AppendMeta(nil, "https://bench.test/assets/app.css", "text/css", 200)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = enc.AppendMeta(dst[:0], "https://bench.test/assets/hero.png", "image/png", 200)
+			}
+		}},
+		{"MuxMetaDecode", func(b *testing.B) {
+			var enc parcelnet.MetaEncoder
+			var dec parcelnet.MetaDecoder
+			prime := enc.AppendMeta(nil, "https://bench.test/assets/app.css", "text/css", 200)
+			if _, _, _, _, err := dec.ReadMeta(prime); err != nil {
+				b.Fatal(err)
+			}
+			meta := enc.AppendMeta(nil, "https://bench.test/assets/hero.png", "image/png", 200)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, _, err := dec.ReadMeta(meta); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
 	rep := hotpathReport{
 		BaselineAllocsPerOp: hotpathBaselineAllocs,
 		TargetAllocsPerOp:   hotpathTargetAllocs,
+		WireZeroAlloc:       true,
 	}
 	measure := func(name string, fn func(b *testing.B)) hotpathCase {
 		r := testing.Benchmark(fn)
@@ -210,6 +279,13 @@ func benchHotpath(w io.Writer, path string) error {
 	for _, c := range minijsCases {
 		rep.Minijs = append(rep.Minijs, measure(c.name, c.fn))
 	}
+	for _, c := range wireCases {
+		hc := measure(c.name, c.fn)
+		if wireGated[hc.Name] && hc.AllocsPerOp > 0 {
+			rep.WireZeroAlloc = false
+		}
+		rep.Wire = append(rep.Wire, hc)
+	}
 
 	parcelAllocs := rep.Cases[0].AllocsPerOp
 	rep.ReductionPercent = 100 * (1 - float64(parcelAllocs)/float64(hotpathBaselineAllocs))
@@ -229,6 +305,9 @@ func benchHotpath(w io.Writer, path string) error {
 	if !rep.WithinTarget {
 		return fmt.Errorf("hot-path regression: PARCEL page load %d allocs/op exceeds budget %d",
 			parcelAllocs, hotpathTargetAllocs)
+	}
+	if !rep.WireZeroAlloc {
+		return fmt.Errorf("hot-path regression: parcelmux encode/decode no longer alloc-free (see wire cases)")
 	}
 	return nil
 }

@@ -27,6 +27,17 @@ type loadgenArm struct {
 	P90MS float64 `json:"p90_ms"`
 	P99MS float64 `json:"p99_ms"`
 
+	// Time-to-first-critical-object: how fast the first render-blocking
+	// object (HTML/CSS/JS/JSON) lands, the latency the mux priority
+	// scheduler exists to protect.
+	TTFCP50MS float64 `json:"ttfc_p50_ms"`
+	TTFCP90MS float64 `json:"ttfc_p90_ms"`
+	TTFCP99MS float64 `json:"ttfc_p99_ms"`
+
+	// FallbackWriteErrors counts silent fallback-request write failures; any
+	// nonzero value fails the run.
+	FallbackWriteErrors int64 `json:"fallback_write_errors"`
+
 	CacheHitRate     float64 `json:"cache_hit_rate"`
 	EgressPerSession float64 `json:"egress_bytes_per_session"`
 	OriginBytes      int64   `json:"origin_bytes_total"`
@@ -47,15 +58,19 @@ func armFromReport(name string, tenants, pages int, r metrics.FleetReport, wall 
 	return loadgenArm{
 		Arm: name, Tenants: tenants, Pages: pages,
 		Complete: r.Completed, Failed: r.Failed,
-		P50MS: float64(r.P50) / float64(time.Millisecond),
-		P90MS: float64(r.P90) / float64(time.Millisecond),
-		P99MS: float64(r.P99) / float64(time.Millisecond),
-		CacheHitRate:     r.CacheHitRate,
-		EgressPerSession: r.EgressPerSession,
-		OriginBytes:      r.OriginBytes,
-		Deferred:         r.Deferred,
-		Shed:             r.Shed,
-		WallSeconds:      wall.Seconds(),
+		P50MS:               float64(r.P50) / float64(time.Millisecond),
+		P90MS:               float64(r.P90) / float64(time.Millisecond),
+		P99MS:               float64(r.P99) / float64(time.Millisecond),
+		TTFCP50MS:           float64(r.TTFCP50) / float64(time.Millisecond),
+		TTFCP90MS:           float64(r.TTFCP90) / float64(time.Millisecond),
+		TTFCP99MS:           float64(r.TTFCP99) / float64(time.Millisecond),
+		FallbackWriteErrors: r.FallbackWriteErrors,
+		CacheHitRate:        r.CacheHitRate,
+		EgressPerSession:    r.EgressPerSession,
+		OriginBytes:         r.OriginBytes,
+		Deferred:            r.Deferred,
+		Shed:                r.Shed,
+		WallSeconds:         wall.Seconds(),
 	}
 }
 
@@ -95,6 +110,7 @@ func benchLoadgen(w io.Writer, tenants int, seed int64, path string, p99Budget t
 		Sched:       sched.ConfigONLD,
 		CacheBytes:  256 << 20,
 		FixedRandom: true,
+		Mux:         true,
 	})
 	if err != nil {
 		return fmt.Errorf("tcp loadgen: %w", err)
@@ -109,8 +125,9 @@ func benchLoadgen(w io.Writer, tenants int, seed int64, path string, p99Budget t
 		},
 	}
 	for _, arm := range rep.Arms {
-		fmt.Fprintf(w, "%-4s %4d tenants: completed=%d failed=%d p50=%.0fms p90=%.0fms p99=%.0fms hit-rate=%.2f egress/user=%.0fKB origin=%.1fMB wall=%.2fs\n",
+		fmt.Fprintf(w, "%-4s %4d tenants: completed=%d failed=%d p50=%.0fms p90=%.0fms p99=%.0fms ttfc-p50=%.0fms ttfc-p99=%.0fms hit-rate=%.2f egress/user=%.0fKB origin=%.1fMB wall=%.2fs\n",
 			arm.Arm, arm.Tenants, arm.Complete, arm.Failed, arm.P50MS, arm.P90MS, arm.P99MS,
+			arm.TTFCP50MS, arm.TTFCP99MS,
 			arm.CacheHitRate, arm.EgressPerSession/1e3, float64(arm.OriginBytes)/1e6, arm.WallSeconds)
 	}
 
@@ -130,6 +147,10 @@ func benchLoadgen(w io.Writer, tenants int, seed int64, path string, p99Budget t
 		}
 		if arm.CacheHitRate <= 0 {
 			return fmt.Errorf("loadgen %s arm: shared cache never hit", arm.Arm)
+		}
+		if arm.FallbackWriteErrors > 0 {
+			return fmt.Errorf("loadgen %s arm: %d fallback object requests failed to write (silent degradation)",
+				arm.Arm, arm.FallbackWriteErrors)
 		}
 	}
 	if p99Budget > 0 {

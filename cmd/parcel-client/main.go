@@ -18,6 +18,7 @@ func main() {
 	proxy := flag.String("proxy", "127.0.0.1:8080", "PARCEL proxy address")
 	url := flag.String("url", "", "page URL to load (required)")
 	lte := flag.Bool("lte", false, "shape the connection like the paper's LTE access")
+	mux := flag.Bool("mux", false, "use the parcelmux stream layer (prioritized, flow-controlled pushes)")
 	wait := flag.Duration("wait", 30*time.Second, "completion wait budget")
 	list := flag.Bool("list", false, "list every received object")
 	flag.Parse()
@@ -37,7 +38,7 @@ func main() {
 	}
 
 	start := time.Now()
-	client, err := parcelnet.Dial(*proxy, dial)
+	client, err := parcelnet.DialConfig(*proxy, parcelnet.ClientConfig{Dial: dial, Mux: *mux})
 	if err != nil {
 		log.Fatalf("parcel-client: %v", err)
 	}
@@ -53,7 +54,14 @@ func main() {
 
 	fmt.Printf("page:      %s\n", *url)
 	fmt.Printf("objects:   %d pushed (%.2f MB page bytes)\n", note.ObjectsPushed, float64(note.BytesPushed)/1e6)
-	fmt.Printf("bundles:   %d (%.2f MB on the wire)\n", client.BundlesReceived, float64(client.BytesReceived)/1e6)
+	if *mux {
+		fmt.Printf("streams:   %.2f MB on the wire, resumed %d\n", float64(client.BytesReceived)/1e6, note.ObjectsResumed)
+		if !client.FirstCriticalAt.IsZero() {
+			fmt.Printf("first critical: %v\n", client.FirstCriticalAt.Sub(start))
+		}
+	} else {
+		fmt.Printf("bundles:   %d (%.2f MB on the wire)\n", client.BundlesReceived, float64(client.BytesReceived)/1e6)
+	}
 	fmt.Printf("first byte: %v\n", client.FirstAt.Sub(start))
 	fmt.Printf("complete:  %v (wall %v)\n", client.CompleteAt.Sub(start), elapsed)
 	fmt.Printf("fallbacks: %d\n", client.Fallbacks)

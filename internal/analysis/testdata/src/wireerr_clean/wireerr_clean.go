@@ -11,7 +11,9 @@ func (c *conn) SetReadDeadline(t time.Time) error { return nil }
 
 type FrameWriter struct{}
 
-func (w *FrameWriter) WriteFrame(typ byte, payload []byte) error { return nil }
+func (w *FrameWriter) WriteFrame(typ byte, payload []byte) error    { return nil }
+func (w *FrameWriter) WriteRaw(frame []byte) error                  { return nil }
+func (w *FrameWriter) WriteWindowUpdate(id, increment uint32) error { return nil }
 
 type metrics struct{}
 
@@ -25,6 +27,14 @@ func good(c *conn, w *FrameWriter, m *metrics, logf func(string, ...any)) error 
 	}
 	if err := w.WriteFrame(1, nil); err != nil {
 		logf("frame: %v", err)
+		return err
+	}
+	if err := w.WriteRaw(nil); err != nil {
+		logf("raw: %v", err)
+		return err
+	}
+	if err := w.WriteWindowUpdate(1, 64); err != nil {
+		logf("window update: %v", err)
 		return err
 	}
 	m.Write(nil)

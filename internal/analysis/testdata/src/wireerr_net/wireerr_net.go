@@ -11,9 +11,11 @@ func (c *conn) SetWriteDeadline(t time.Time) error { return nil }
 
 type FrameWriter struct{}
 
-func (w *FrameWriter) WriteFrame(typ byte, payload []byte) error { return nil }
-func (w *FrameWriter) WriteJSON(typ byte, v any) error           { return nil }
-func (w *FrameWriter) Write(p []byte) (int, error)               { return len(p), nil }
+func (w *FrameWriter) WriteFrame(typ byte, payload []byte) error    { return nil }
+func (w *FrameWriter) WriteJSON(typ byte, v any) error              { return nil }
+func (w *FrameWriter) Write(p []byte) (int, error)                  { return len(p), nil }
+func (w *FrameWriter) WriteRaw(frame []byte) error                  { return nil }
+func (w *FrameWriter) WriteWindowUpdate(id, increment uint32) error { return nil }
 
 func bad(c *conn, w *FrameWriter) {
 	c.SetReadDeadline(time.Time{})      // want "error from SetReadDeadline discarded"
@@ -22,6 +24,9 @@ func bad(c *conn, w *FrameWriter) {
 	defer w.WriteFrame(2, nil)          // want "error from WriteFrame discarded by defer"
 	_ = c.SetWriteDeadline(time.Time{}) // want "error from SetWriteDeadline assigned to blank identifier"
 	_, _ = w.Write(nil)                 // want "error from Write assigned to blank identifier"
+	w.WriteRaw(nil)                     // want "error from WriteRaw discarded"
+	go w.WriteWindowUpdate(1, 64)       // want "error from WriteWindowUpdate discarded by go statement"
+	_ = w.WriteWindowUpdate(0, 1)       // want "error from WriteWindowUpdate assigned to blank identifier"
 }
 
 func allowedDiscard(w *FrameWriter) {

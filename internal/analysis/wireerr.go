@@ -26,10 +26,15 @@ var deadlineFuncs = map[string]bool{
 	"SetWriteDeadline": true,
 }
 
-// wireWriteFuncs are the framed-wire write entry points.
+// wireWriteFuncs are the framed-wire write entry points, including the
+// parcelmux raw-frame and flow-control writers: a dropped WriteRaw strands a
+// stream mid-object and a dropped WriteWindowUpdate deadlocks the sender
+// against an exhausted window.
 var wireWriteFuncs = map[string]bool{
-	"WriteFrame": true,
-	"WriteJSON":  true,
+	"WriteFrame":        true,
+	"WriteJSON":         true,
+	"WriteRaw":          true,
+	"WriteWindowUpdate": true,
 }
 
 func runWireErr(pass *analysis.Pass) (any, error) {

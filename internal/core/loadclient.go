@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"time"
 
 	"github.com/parcel-go/parcel/internal/eventsim"
@@ -26,8 +27,11 @@ type LoadClient struct {
 	// ID tags the tenant in fleet reports.
 	ID int
 	// StartedAt/CompleteAt bracket the session on the virtual clock.
-	StartedAt  time.Duration
-	CompleteAt time.Duration
+	// FirstCriticalAt is when the first render-blocking object (HTML, CSS,
+	// script, JSON) arrived; zero until one does.
+	StartedAt       time.Duration
+	FirstCriticalAt time.Duration
+	CompleteAt      time.Duration
 	// Notified is set once the proxy's completion notification arrives.
 	Notified bool
 
@@ -68,6 +72,14 @@ func (c *LoadClient) onMessage(m simnet.Message) {
 	case bundleMsg:
 		c.BundlesReceived++
 		c.ObjectsReceived += len(msg.Parts)
+		if c.FirstCriticalAt == 0 {
+			for _, p := range msg.Parts {
+				if criticalContentType(p.ContentType) {
+					c.FirstCriticalAt = m.At
+					break
+				}
+			}
+		}
 	case objectResponse:
 		c.ObjectsReceived++
 	case completeNote:
@@ -95,5 +107,19 @@ func (c *LoadClient) SessionLoad() metrics.SessionLoad {
 	if c.Notified {
 		l.Latency = c.CompleteAt - c.StartedAt
 	}
+	if c.FirstCriticalAt > 0 {
+		l.FirstCritical = c.FirstCriticalAt - c.StartedAt
+	}
 	return l
+}
+
+// criticalContentType mirrors the parcelnet mux priority classes: the
+// render-blocking set whose time-to-first-object both arms report.
+func criticalContentType(ct string) bool {
+	for _, sub := range [...]string{"html", "css", "javascript", "json"} {
+		if strings.Contains(ct, sub) {
+			return true
+		}
+	}
+	return false
 }

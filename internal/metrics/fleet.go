@@ -18,6 +18,10 @@ type SessionLoad struct {
 	// Latency is request-to-completion (virtual time in simulation, wall
 	// clock over real TCP).
 	Latency time.Duration
+	// FirstCritical is request-to-first-critical-object (HTML/CSS/JS — the
+	// render-blocking set): the latency the mux layer's prioritization
+	// targets. Zero when the session never saw a critical object.
+	FirstCritical time.Duration
 	// Completed reports whether the page finished; failed sessions are
 	// excluded from latency percentiles but counted.
 	Completed bool
@@ -34,6 +38,10 @@ type SessionLoad struct {
 	// for later delivery and objects dropped to the client's direct-origin
 	// path.
 	Deferred, Shed int
+	// FallbackWriteErrors counts fallback object requests whose write to the
+	// proxy failed — requests the proxy never saw. Nonzero means the session
+	// silently lost fallbacks; load generators gate on the fleet total.
+	FallbackWriteErrors int
 }
 
 // FleetReport aggregates a load-generator run: per-session latency
@@ -46,6 +54,10 @@ type FleetReport struct {
 
 	P50, P90, P99 time.Duration
 
+	// TTFC percentiles cover time-to-first-critical-object, over completed
+	// sessions that saw at least one critical object.
+	TTFCP50, TTFCP90, TTFCP99 time.Duration
+
 	CacheHits    int64
 	CacheMisses  int64
 	CacheHitRate float64 // hits / (hits + misses); 0 when no lookups
@@ -57,6 +69,8 @@ type FleetReport struct {
 
 	Deferred int64
 	Shed     int64
+
+	FallbackWriteErrors int64
 }
 
 // Fleet reduces per-session loads to the fleet report. Percentiles are over
@@ -65,10 +79,14 @@ func Fleet(loads []SessionLoad) FleetReport {
 	var r FleetReport
 	r.Sessions = len(loads)
 	lat := make([]float64, 0, len(loads))
+	ttfc := make([]float64, 0, len(loads))
 	for _, l := range loads {
 		if l.Completed {
 			r.Completed++
 			lat = append(lat, l.Latency.Seconds())
+			if l.FirstCritical > 0 {
+				ttfc = append(ttfc, l.FirstCritical.Seconds())
+			}
 		} else {
 			r.Failed++
 		}
@@ -78,11 +96,17 @@ func Fleet(loads []SessionLoad) FleetReport {
 		r.OriginBytes += l.OriginBytes
 		r.Deferred += int64(l.Deferred)
 		r.Shed += int64(l.Shed)
+		r.FallbackWriteErrors += int64(l.FallbackWriteErrors)
 	}
 	if len(lat) > 0 {
 		r.P50 = time.Duration(stats.Percentile(lat, 50) * float64(time.Second))
 		r.P90 = time.Duration(stats.Percentile(lat, 90) * float64(time.Second))
 		r.P99 = time.Duration(stats.Percentile(lat, 99) * float64(time.Second))
+	}
+	if len(ttfc) > 0 {
+		r.TTFCP50 = time.Duration(stats.Percentile(ttfc, 50) * float64(time.Second))
+		r.TTFCP90 = time.Duration(stats.Percentile(ttfc, 90) * float64(time.Second))
+		r.TTFCP99 = time.Duration(stats.Percentile(ttfc, 99) * float64(time.Second))
 	}
 	if total := r.CacheHits + r.CacheMisses; total > 0 {
 		r.CacheHitRate = float64(r.CacheHits) / float64(total)

@@ -1,0 +1,91 @@
+package parcelnet
+
+import "sync"
+
+// Frame payload buffers are recycled through size-bucketed free lists so the
+// read loops — one frame per proxy request, one per client push chunk — stop
+// allocating a fresh []byte per frame. Buckets are powers of two from 512 B
+// to maxFrame; each bucket retains at most bufBucketRetainBytes of idle
+// buffers so a burst of large frames cannot pin memory forever. With
+// -tags simdebug every grab/release pair is checked: releasing a buffer twice
+// panics at the offending call site (see pooldebug_on.go), mirroring the
+// simnet packet and minijs frame pools.
+
+const (
+	bufMinBits = 9  // smallest bucket: 512 B
+	bufMaxBits = 26 // largest bucket: 64 MB == maxFrame
+	// bufBucketRetainBytes bounds the idle bytes kept per bucket.
+	bufBucketRetainBytes = 4 << 20
+)
+
+// bufBucketT is one free list: a mutex-guarded stack of same-capacity slices.
+type bufBucketT struct {
+	mu   sync.Mutex
+	free [][]byte
+	max  int // retained-buffer cap for this bucket
+}
+
+var frameBufBuckets = func() *[bufMaxBits - bufMinBits + 1]bufBucketT {
+	var b [bufMaxBits - bufMinBits + 1]bufBucketT
+	for i := range b {
+		max := bufBucketRetainBytes >> (bufMinBits + i)
+		if max < 1 {
+			max = 1
+		}
+		b[i].max = max
+	}
+	return &b
+}()
+
+// bufBucketFor returns the bucket index whose capacity (1<<(bufMinBits+idx))
+// holds n bytes. The caller guarantees n <= maxFrame.
+func bufBucketFor(n int) int {
+	idx := 0
+	for n > 1<<(bufMinBits+idx) {
+		idx++
+	}
+	return idx
+}
+
+// grabFrameBuf returns a length-n buffer from the pool (or a fresh one).
+func grabFrameBuf(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	idx := bufBucketFor(n)
+	b := &frameBufBuckets[idx]
+	b.mu.Lock()
+	if last := len(b.free) - 1; last >= 0 {
+		buf := b.free[last]
+		b.free[last] = nil
+		b.free = b.free[:last]
+		b.mu.Unlock()
+		checkFrameBufGrab(buf)
+		return buf[:n]
+	}
+	b.mu.Unlock()
+	return make([]byte, n, 1<<(bufMinBits+idx))
+}
+
+// ReleaseFrameBuf returns a ReadFramePooled payload to its bucket. Buffers
+// whose capacity is not an exact bucket size (foreign slices) are dropped,
+// so releasing something the pool never produced is harmless.
+func ReleaseFrameBuf(buf []byte) {
+	c := cap(buf)
+	if c < 1<<bufMinBits || c > 1<<bufMaxBits || c&(c-1) != 0 {
+		return
+	}
+	idx := 0
+	for c > 1<<(bufMinBits+idx) {
+		idx++
+	}
+	b := &frameBufBuckets[idx]
+	b.mu.Lock()
+	// Deferred so a simdebug double-free panic does not leave the bucket
+	// locked for whoever recovers it.
+	defer b.mu.Unlock()
+	if len(b.free) < b.max {
+		checkFrameBufRelease(buf[:1])
+		b.free = append(b.free, buf[:0])
+	}
+}

@@ -49,6 +49,11 @@ type ClientConfig struct {
 	// degrades to once the retry budget is spent: the page completes in DIR
 	// mode, fetching remaining objects straight from the origin.
 	DirectOrigin string
+	// Mux requests the parcelmux stream layer: objects arrive as prioritized,
+	// flow-controlled stream chunks instead of monolithic bundles, and a
+	// reconnect resumes partially-received objects at their byte offset.
+	// Default false — the legacy bundle path.
+	Mux bool
 	// Logf, when set, receives recovery diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -103,6 +108,11 @@ type Client struct {
 	degraded bool
 	direct   *OriginFetcher
 	rng      *rand.Rand // backoff jitter; touched only by the reconnect goroutine
+	// asm reassembles mux streams on the current connection; partials carries
+	// incomplete stream bodies across reconnects so the next connection can
+	// resume each object at its offset instead of resending the prefix.
+	asm      *muxAssembler
+	partials map[string][]byte
 
 	// BundlesReceived counts pushed bundles.
 	BundlesReceived int
@@ -120,11 +130,21 @@ type Client struct {
 	// ShedReceived counts objects the proxy announced it would not push
 	// (admission control shed them); the client fetches those itself.
 	ShedReceived int
+	// PartialResumes counts objects completed from a mid-stream resume (the
+	// reconnect manifest carried a nonzero offset for them).
+	PartialResumes int
+	// FallbackWriteErrors counts fallback TObjectRequest writes that failed —
+	// requests the proxy never saw. Loadgen gates on this so silent fallback
+	// failures cannot pass as healthy runs.
+	FallbackWriteErrors int
 
-	// FirstAt and CompleteAt are wall-clock milestones.
-	startedAt  time.Time
-	FirstAt    time.Time
-	CompleteAt time.Time
+	// FirstAt and CompleteAt are wall-clock milestones. FirstCriticalAt is
+	// when the first critical-class object (HTML/CSS/JS — the render-blocking
+	// set) landed; the mux layer exists to pull it forward.
+	startedAt       time.Time
+	FirstAt         time.Time
+	FirstCriticalAt time.Time
+	CompleteAt      time.Time
 }
 
 // Dial connects to a PARCEL proxy. dial may be nil (plain net.Dial) or a
@@ -187,85 +207,196 @@ func (c *Client) Degraded() bool {
 
 // RequestPage asks the proxy to load url on the client's behalf.
 func (c *Client) RequestPage(url, userAgent, screen string) error {
-	req := PageRequest{URL: url, UserAgent: userAgent, Screen: screen}
+	req := PageRequest{URL: url, UserAgent: userAgent, Screen: screen, Mux: c.cfg.Mux}
 	c.mu.Lock()
 	c.startedAt = time.Now()
 	c.page = &req
+	if c.cfg.Mux {
+		// The assembler must exist before the request is on the wire: the
+		// proxy's TMuxSettings answer can race the unlock otherwise.
+		c.asm = newMuxAssembler(c.partialHeld)
+	}
 	fw := c.fw
 	c.mu.Unlock()
 	return fw.WriteJSON(TPageRequest, req)
 }
 
+// partialHeld is the assembler's resume source: the bytes already held for a
+// URL whose stream the proxy reopened at an offset. Called with c.mu held
+// (the read loop drives the assembler under the client lock).
+func (c *Client) partialHeld(url string) []byte { return c.partials[url] }
+
 func (c *Client) readLoop(conn net.Conn) {
 	for {
-		typ, payload, err := ReadFrame(conn)
+		// Pooled reads: every branch below copies what it keeps (mhtml.Decode
+		// and json.Unmarshal copy, the mux assembler appends chunks into its
+		// own buffers), so the payload is recycled at the end of the iteration.
+		typ, payload, err := ReadFramePooled(conn)
 		if err != nil {
 			c.onDisconnect(conn, err)
 			return
 		}
-		switch typ {
-		case TBundle, TObjectResponse:
-			parts, err := mhtml.Decode(payload)
-			if err != nil {
-				c.fail(fmt.Errorf("parcelnet: bad bundle: %w", err))
-				return
-			}
-			c.mu.Lock()
-			if typ == TBundle {
-				c.BundlesReceived++
-			}
-			c.BytesReceived += int64(len(payload))
-			if c.FirstAt.IsZero() {
-				c.FirstAt = time.Now()
-			}
-			for _, p := range parts {
-				if _, dup := c.store[p.URL]; !dup {
-					c.order = append(c.order, p.URL)
-				}
-				c.store[p.URL] = p
-			}
-			c.cond.Broadcast()
-			c.mu.Unlock()
-		case TShed:
-			var note ShedNote
-			if err := jsonUnmarshal(payload, &note); err != nil {
-				c.cfg.Logf("bad shed note: %v", err)
-				continue
-			}
-			c.mu.Lock()
-			if c.shed == nil {
-				c.shed = make(map[string]bool)
-			}
-			missing := make([]string, 0, len(note.URLs))
-			for _, u := range note.URLs {
-				c.shed[u] = true
-				if _, ok := c.store[u]; !ok {
-					missing = append(missing, u)
-				}
-			}
-			c.ShedReceived += len(note.URLs)
-			eager := c.cfg.DirectOrigin != "" && !c.closed
-			c.cond.Broadcast()
-			c.mu.Unlock()
-			if eager {
-				// Recover the push benefit we lost: start fetching shed objects
-				// before the page asks for them.
-				go c.fetchShed(missing)
-			}
-		case TComplete:
-			var note CompleteNote
-			if err := jsonUnmarshal(payload, &note); err == nil {
-				c.mu.Lock()
-				c.note = note
-			} else {
-				c.mu.Lock()
-			}
-			c.notified = true
-			c.CompleteAt = time.Now()
-			c.cond.Broadcast()
-			c.mu.Unlock()
+		fatal := c.handleClientFrame(typ, payload)
+		ReleaseFrameBuf(payload)
+		if fatal {
+			return
 		}
 	}
+}
+
+// handleClientFrame dispatches one inbound frame; it must not retain payload
+// (the read loop recycles it). It returns true on a fatal protocol error.
+func (c *Client) handleClientFrame(typ byte, payload []byte) bool {
+	switch typ {
+	case TBundle, TObjectResponse:
+		parts, err := mhtml.Decode(payload)
+		if err != nil {
+			c.fail(fmt.Errorf("parcelnet: bad bundle: %w", err))
+			return true
+		}
+		c.mu.Lock()
+		if typ == TBundle {
+			c.BundlesReceived++
+		}
+		c.BytesReceived += int64(len(payload))
+		if c.FirstAt.IsZero() {
+			c.FirstAt = time.Now()
+		}
+		for _, p := range parts {
+			if c.FirstCriticalAt.IsZero() && prioClass(p.ContentType) == muxClassCritical {
+				c.FirstCriticalAt = time.Now()
+			}
+			if _, dup := c.store[p.URL]; !dup {
+				c.order = append(c.order, p.URL)
+			}
+			c.store[p.URL] = p
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	case TMuxSettings:
+		c.mu.Lock()
+		var err error
+		if c.asm != nil {
+			err = c.asm.onSettings(payload)
+		}
+		c.mu.Unlock()
+		if err != nil {
+			c.fail(err)
+			return true
+		}
+	case TStreamOpen:
+		c.mu.Lock()
+		if c.asm == nil {
+			c.mu.Unlock()
+			c.fail(fmt.Errorf("parcelnet: stream frame without mux session"))
+			return true
+		}
+		c.BytesReceived += int64(len(payload))
+		part, err := c.asm.onOpen(payload)
+		if part != nil {
+			c.deliverPartLocked(part)
+		}
+		c.mu.Unlock()
+		if err != nil {
+			c.fail(err)
+			return true
+		}
+	case TStreamData:
+		c.mu.Lock()
+		if c.asm == nil {
+			c.mu.Unlock()
+			c.fail(fmt.Errorf("parcelnet: stream frame without mux session"))
+			return true
+		}
+		c.BytesReceived += int64(len(payload))
+		part, acks, err := c.asm.onData(payload)
+		if part != nil {
+			c.deliverPartLocked(part)
+		}
+		fw := c.fw
+		c.mu.Unlock()
+		if err != nil {
+			c.fail(err)
+			return true
+		}
+		for _, a := range acks {
+			if werr := fw.WriteWindowUpdate(a.id, a.inc); werr != nil {
+				// The read side will see the broken connection and drive
+				// recovery; the lost credit dies with the connection.
+				c.cfg.Logf("window update failed: %v", werr)
+				break
+			}
+		}
+	case TShed:
+		var note ShedNote
+		if err := jsonUnmarshal(payload, &note); err != nil {
+			c.cfg.Logf("bad shed note: %v", err)
+			return false
+		}
+		c.mu.Lock()
+		if c.shed == nil {
+			c.shed = make(map[string]bool)
+		}
+		missing := make([]string, 0, len(note.URLs))
+		for _, u := range note.URLs {
+			c.shed[u] = true
+			if _, ok := c.store[u]; !ok {
+				missing = append(missing, u)
+			}
+		}
+		c.ShedReceived += len(note.URLs)
+		eager := c.cfg.DirectOrigin != "" && !c.closed
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		if eager {
+			// Recover the push benefit we lost: start fetching shed objects
+			// before the page asks for them.
+			go c.fetchShed(missing)
+		}
+	case TComplete:
+		var note CompleteNote
+		if err := jsonUnmarshal(payload, &note); err == nil {
+			c.mu.Lock()
+			c.note = note
+		} else {
+			c.mu.Lock()
+		}
+		c.notified = true
+		c.CompleteAt = time.Now()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+	return false
+}
+
+// deliverPartLocked lands one reassembled mux object in the store.
+func (c *Client) deliverPartLocked(p *muxPart) {
+	if c.FirstAt.IsZero() {
+		c.FirstAt = time.Now()
+	}
+	if p.Class == muxClassCritical && c.FirstCriticalAt.IsZero() {
+		c.FirstCriticalAt = time.Now()
+	}
+	if p.Resumed {
+		c.PartialResumes++
+		delete(c.partials, p.URL)
+	}
+	if _, dup := c.store[p.URL]; !dup {
+		c.order = append(c.order, p.URL)
+	}
+	c.store[p.URL] = mhtml.Part{URL: p.URL, ContentType: p.ContentType, Status: p.Status, Body: p.Body}
+	c.cond.Broadcast()
+}
+
+// noteFallbackWriteError counts a fallback request that never reached the
+// proxy (the write failed) and logs it. The counter is surfaced through
+// SessionLoad so load generators can gate on silent fallback failures.
+func (c *Client) noteFallbackWriteError(format string, args ...any) {
+	c.mu.Lock()
+	c.FallbackWriteErrors++
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.cfg.Logf(format, args...)
 }
 
 // fail records a fatal protocol error and wakes waiters.
@@ -286,6 +417,20 @@ func (c *Client) onDisconnect(conn net.Conn, err error) {
 	if c.conn != conn || c.closed || c.degraded {
 		c.mu.Unlock()
 		return
+	}
+	// Harvest the dead connection's half-received streams into the resume
+	// state before anything else: whatever bytes made it across are kept, and
+	// the next connection's manifest asks for the rest of each object.
+	if c.asm != nil {
+		if held := c.asm.partials(); len(held) > 0 {
+			if c.partials == nil {
+				c.partials = make(map[string][]byte, len(held))
+			}
+			for u, b := range held {
+				c.partials[u] = b
+			}
+		}
+		c.asm = nil
 	}
 	if c.page == nil || c.notified || c.cfg.MaxRetries < 0 {
 		// No page in flight (or it already completed): nothing to resume.
@@ -330,6 +475,19 @@ func (c *Client) reconnect(dead net.Conn) {
 			req.Have = append(req.Have, u)
 		}
 		sort.Strings(req.Have)
+		if req.Mux {
+			// Extend the manifest with half-received objects: the proxy
+			// reopens each stream at the recorded offset. A fresh assembler
+			// serves the new connection (HPACK tables reset with it).
+			req.Partial = nil
+			for u, b := range c.partials {
+				if _, done := c.store[u]; !done && len(b) > 0 {
+					req.Partial = append(req.Partial, PartialObject{URL: u, Bytes: int64(len(b))})
+				}
+			}
+			sort.Slice(req.Partial, func(i, j int) bool { return req.Partial[i].URL < req.Partial[j].URL })
+			c.asm = newMuxAssembler(c.partialHeld)
+		}
 		c.conn = conn
 		c.fw = NewFrameWriter(conn)
 		fw := c.fw
@@ -482,7 +640,7 @@ func (c *Client) Object(url string, timeout time.Duration) (mhtml.Part, error) {
 			fw := c.fw
 			go func() {
 				if err := fw.WriteJSON(TObjectRequest, ObjectRequest{URL: url}); err != nil {
-					c.cfg.Logf("shed object request for %s failed: %v", url, err)
+					c.noteFallbackWriteError("shed object request for %s failed: %v", url, err)
 				}
 			}()
 		}
@@ -493,8 +651,9 @@ func (c *Client) Object(url string, timeout time.Duration) (mhtml.Part, error) {
 			go func() {
 				if err := fw.WriteJSON(TObjectRequest, ObjectRequest{URL: url}); err != nil {
 					// The read loop sees the broken connection and drives
-					// reconnection; here we only surface the failed request.
-					c.cfg.Logf("fallback object request for %s failed: %v", url, err)
+					// reconnection; here we surface the failed request as a
+					// counted error, not just a log line.
+					c.noteFallbackWriteError("fallback object request for %s failed: %v", url, err)
 				}
 			}()
 		}
@@ -553,20 +712,24 @@ func (c *Client) SessionLoad(id int) metrics.SessionLoad {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	l := metrics.SessionLoad{
-		ID:          id,
-		Completed:   c.notified && c.rerr == nil,
-		CacheHits:   c.note.CacheHits,
-		CacheMisses: c.note.CacheMisses,
-		EgressBytes: c.BytesReceived,
-		OriginBytes: c.note.OriginBytes,
-		Deferred:    c.note.ObjectsDeferred,
-		Shed:        c.note.ObjectsShed,
+		ID:                  id,
+		Completed:           c.notified && c.rerr == nil,
+		CacheHits:           c.note.CacheHits,
+		CacheMisses:         c.note.CacheMisses,
+		EgressBytes:         c.BytesReceived,
+		OriginBytes:         c.note.OriginBytes,
+		Deferred:            c.note.ObjectsDeferred,
+		Shed:                c.note.ObjectsShed,
+		FallbackWriteErrors: c.FallbackWriteErrors,
 	}
 	if c.page != nil {
 		l.Page = c.page.URL
 	}
 	if !c.startedAt.IsZero() && !c.CompleteAt.IsZero() {
 		l.Latency = c.CompleteAt.Sub(c.startedAt)
+	}
+	if !c.startedAt.IsZero() && !c.FirstCriticalAt.IsZero() {
+		l.FirstCritical = c.FirstCriticalAt.Sub(c.startedAt)
 	}
 	return l
 }

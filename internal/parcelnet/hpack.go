@@ -1,0 +1,165 @@
+package parcelnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// HPACK-lite: the compact metadata encoding carried by TStreamOpen frames.
+// Object metadata used to ride full JSON; on a page whose objects share a
+// few origins that is mostly repeated scheme://host/ prefixes. The codec
+// keeps a static table of common content types and a per-connection dynamic
+// table of URL prefixes: the first URL from an origin is sent literal (and
+// both sides insert its prefix), every later one as [prefix index][suffix].
+// Encoder and decoder stay in sync because frames are delivered in order on
+// one connection — there is no out-of-band table update.
+
+// muxStaticCT is the static content-type table (1-based indices on the wire;
+// 0 means literal). Order is part of the wire protocol — append only.
+var muxStaticCT = []string{
+	"text/html",
+	"text/css",
+	"application/javascript",
+	"text/javascript",
+	"image/png",
+	"image/jpeg",
+	"image/gif",
+	"application/octet-stream",
+	"text/plain",
+	"application/json",
+}
+
+// urlPrefix returns the origin prefix of u through the first path slash
+// ("scheme://host/"), or "" when u has no such shape.
+func urlPrefix(u string) string {
+	i := strings.Index(u, "://")
+	if i < 0 {
+		return ""
+	}
+	j := strings.IndexByte(u[i+3:], '/')
+	if j < 0 {
+		return ""
+	}
+	return u[:i+3+j+1]
+}
+
+// MetaEncoder is the sending half of the HPACK-lite codec. The zero value is
+// ready to use; one encoder serves one connection.
+type MetaEncoder struct {
+	prefix map[string]uint64 // origin prefix -> 1-based dynamic index
+}
+
+// AppendMeta appends the encoded (url, contentType, status) tuple to dst and
+// returns the extended slice. Repeat-origin URLs shrink to a table index
+// plus the path suffix.
+func (e *MetaEncoder) AppendMeta(dst []byte, url, contentType string, status int) []byte {
+	p := urlPrefix(url)
+	if idx, ok := e.prefix[p]; ok && p != "" {
+		dst = binary.AppendUvarint(dst, idx)
+		suffix := url[len(p):]
+		dst = binary.AppendUvarint(dst, uint64(len(suffix)))
+		dst = append(dst, suffix...)
+	} else {
+		dst = binary.AppendUvarint(dst, 0)
+		dst = binary.AppendUvarint(dst, uint64(len(url)))
+		dst = append(dst, url...)
+		if p != "" {
+			if e.prefix == nil {
+				e.prefix = make(map[string]uint64)
+			}
+			e.prefix[p] = uint64(len(e.prefix)) + 1
+		}
+	}
+	ct := 0
+	for i, s := range muxStaticCT {
+		if s == contentType {
+			ct = i + 1
+			break
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(ct))
+	if ct == 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(contentType)))
+		dst = append(dst, contentType...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(status))
+	return dst
+}
+
+// MetaDecoder is the receiving half; it mirrors the encoder's dynamic-table
+// insertions. The zero value is ready to use; one decoder serves one
+// connection.
+type MetaDecoder struct {
+	prefix []string // dynamic table, index i on the wire = prefix[i-1]
+}
+
+var errMetaTruncated = fmt.Errorf("parcelnet: truncated stream metadata")
+
+// readUvarint is binary.Uvarint with explicit truncation/overflow errors.
+func readUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errMetaTruncated
+	}
+	return v, p[n:], nil
+}
+
+// readString reads a uvarint-length-prefixed string.
+func readString(p []byte) (string, []byte, error) {
+	n, p, err := readUvarint(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(p)) {
+		return "", nil, errMetaTruncated
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+// ReadMeta decodes one metadata tuple from p, returning the remaining bytes.
+func (d *MetaDecoder) ReadMeta(p []byte) (url, contentType string, status int, rest []byte, err error) {
+	idx, p, err := readUvarint(p)
+	if err != nil {
+		return "", "", 0, nil, err
+	}
+	if idx == 0 {
+		url, p, err = readString(p)
+		if err != nil {
+			return "", "", 0, nil, err
+		}
+		if pre := urlPrefix(url); pre != "" {
+			d.prefix = append(d.prefix, pre)
+		}
+	} else {
+		if idx > uint64(len(d.prefix)) {
+			return "", "", 0, nil, fmt.Errorf("parcelnet: unknown URL prefix index %d", idx)
+		}
+		var suffix string
+		suffix, p, err = readString(p)
+		if err != nil {
+			return "", "", 0, nil, err
+		}
+		url = d.prefix[idx-1] + suffix
+	}
+	ct, p, err := readUvarint(p)
+	if err != nil {
+		return "", "", 0, nil, err
+	}
+	switch {
+	case ct == 0:
+		contentType, p, err = readString(p)
+		if err != nil {
+			return "", "", 0, nil, err
+		}
+	case ct <= uint64(len(muxStaticCT)):
+		contentType = muxStaticCT[ct-1]
+	default:
+		return "", "", 0, nil, fmt.Errorf("parcelnet: unknown content-type index %d", ct)
+	}
+	st, p, err := readUvarint(p)
+	if err != nil {
+		return "", "", 0, nil, err
+	}
+	return url, contentType, int(st), p, nil
+}

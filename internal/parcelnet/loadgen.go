@@ -47,6 +47,14 @@ type LoadgenConfig struct {
 	Stagger time.Duration
 	// FixedRandom applies the replay rewrite in page JS.
 	FixedRandom bool
+	// Mux runs every tenant over the parcelmux stream layer (prioritized,
+	// flow-controlled streams) instead of monolithic bundles.
+	Mux bool
+	// MuxChunkSize, MuxStreamWindow, MuxConnWindow tune the stream layer
+	// (see ProxyConfig); zero values take the defaults.
+	MuxChunkSize    int
+	MuxStreamWindow int64
+	MuxConnWindow   int64
 	// Logf, when set, receives proxy diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -95,6 +103,9 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 		CacheBytes:        cfg.CacheBytes,
 		SessionPushBudget: cfg.SessionPushBudget,
 		ProxyPushBudget:   cfg.ProxyPushBudget,
+		MuxChunkSize:      cfg.MuxChunkSize,
+		MuxStreamWindow:   cfg.MuxStreamWindow,
+		MuxConnWindow:     cfg.MuxConnWindow,
 		Logf:              cfg.Logf,
 	})
 	if err != nil {
@@ -148,6 +159,7 @@ func runTenant(id int, proxyAddr, originAddr string, cfg LoadgenConfig, dial dia
 		Dial:         dial,
 		DirectOrigin: originAddr,
 		Seed:         int64(id) + 1,
+		Mux:          cfg.Mux,
 	})
 	if err != nil {
 		return metrics.SessionLoad{ID: id, Page: url}

@@ -1,0 +1,9 @@
+//go:build !simdebug
+
+package parcelnet
+
+// Release-side double-free checks compile away in normal builds; the
+// simdebug variants live in pooldebug_on.go.
+
+func checkFrameBufGrab([]byte)    {}
+func checkFrameBufRelease([]byte) {}

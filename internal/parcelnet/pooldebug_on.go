@@ -1,0 +1,39 @@
+//go:build simdebug
+
+package parcelnet
+
+import "sync"
+
+// With -tags simdebug the frame-buffer pool tracks which buffers are
+// currently parked on a free list, keyed by the backing array's first byte.
+// Releasing a buffer twice — which would alias two concurrent frame reads
+// onto one array — panics at the second release. The same contract as the
+// simnet packet and minijs frame pools: free in normal builds, loud in debug.
+
+var frameBufDebug struct {
+	sync.Mutex
+	pooled map[*byte]bool
+}
+
+func checkFrameBufGrab(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	p := &buf[:1][0]
+	frameBufDebug.Lock()
+	delete(frameBufDebug.pooled, p)
+	frameBufDebug.Unlock()
+}
+
+func checkFrameBufRelease(buf []byte) {
+	p := &buf[0]
+	frameBufDebug.Lock()
+	defer frameBufDebug.Unlock()
+	if frameBufDebug.pooled == nil {
+		frameBufDebug.pooled = make(map[*byte]bool)
+	}
+	if frameBufDebug.pooled[p] {
+		panic("parcelnet: double free of frame buffer")
+	}
+	frameBufDebug.pooled[p] = true
+}

@@ -1,0 +1,30 @@
+//go:build simdebug
+
+package parcelnet
+
+import "testing"
+
+// TestFrameBufDoubleFreePanics pins the simdebug ownership contract: putting
+// the same buffer on the free list twice must panic at the second release,
+// because two future grabs would alias one backing array.
+func TestFrameBufDoubleFreePanics(t *testing.T) {
+	buf := grabFrameBuf(600)
+	ReleaseFrameBuf(buf)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not detected")
+		}
+		// Leave the pool consistent for other tests: take the buffer back out.
+		grabFrameBuf(600)
+	}()
+	ReleaseFrameBuf(buf)
+}
+
+// TestFrameBufGrabReleaseCycle: the normal grab→release→grab cycle must not
+// trip the checker.
+func TestFrameBufGrabReleaseCycle(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		b := grabFrameBuf(2000)
+		ReleaseFrameBuf(b)
+	}
+}

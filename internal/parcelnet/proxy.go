@@ -1,6 +1,7 @@
 package parcelnet
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -62,6 +63,15 @@ type ProxyConfig struct {
 	// reads from it (tests use it to shape the server side or shrink socket
 	// buffers so backpressure is reachable at test scale).
 	WrapConn func(net.Conn) net.Conn
+
+	// MuxChunkSize is the parcelmux data-chunk size for sessions that request
+	// the stream layer (0 means 32 KB). MuxStreamWindow and MuxConnWindow are
+	// the initial per-stream and per-connection flow-control windows (0 means
+	// 256 KB and 1 MB). Sessions that do not set PageRequest.Mux are served
+	// over the legacy monolithic-bundle path regardless.
+	MuxChunkSize    int
+	MuxStreamWindow int64
+	MuxConnWindow   int64
 
 	// Logf, when set, receives diagnostic lines.
 	Logf func(format string, args ...any)
@@ -289,6 +299,16 @@ type session struct {
 	// parked holds deferred items: flushed by the bundler while the session
 	// budget was full, re-admitted as the writer drains.
 	parked []sched.Item
+	// mux is the parcelmux stream scheduler for sessions that requested the
+	// multiplexed layer (nil on the legacy bundle path). partialOffsets maps
+	// resume-manifest URLs to the byte offset the client already holds;
+	// completeNote/completeQueued stage the TComplete frame until every live
+	// stream has drained.
+	mux            *muxSender
+	partialOffsets map[string]int64
+	resumed        int
+	completeNote   []byte
+	completeQueued bool
 
 	bundler      *sched.Bundler
 	cache        map[string]Object // session view; bodies nil when the shared cache holds them
@@ -343,29 +363,56 @@ func (p *Proxy) serve(conn net.Conn) {
 				return
 			}
 		}
-		typ, payload, err := ReadFrame(conn)
+		typ, payload, err := ReadFramePooled(conn)
 		if err != nil {
 			return
 		}
-		switch typ {
-		case TPageRequest:
-			var req PageRequest
-			if err := json.Unmarshal(payload, &req); err != nil {
-				p.cfg.Logf("bad page request: %v", err)
-				return
-			}
-			s.startPage(req)
-		case TObjectRequest:
-			var req ObjectRequest
-			if err := json.Unmarshal(payload, &req); err != nil {
-				p.cfg.Logf("bad object request: %v", err)
-				return
-			}
-			go s.serveFallback(req.URL)
-		default:
-			p.cfg.Logf("unexpected frame type %d", typ)
+		ok := s.handleFrame(typ, payload)
+		// json.Unmarshal and the window-update decode copy everything they
+		// keep, so the payload can go straight back to the pool.
+		ReleaseFrameBuf(payload)
+		if !ok {
+			return
 		}
 	}
+}
+
+// handleFrame dispatches one inbound frame; it must not retain payload
+// (the serve loop recycles it). It returns false to tear the session down.
+func (s *session) handleFrame(typ byte, payload []byte) bool {
+	p := s.proxy
+	switch typ {
+	case TPageRequest:
+		var req PageRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			p.cfg.Logf("bad page request: %v", err)
+			return false
+		}
+		s.startPage(req)
+	case TObjectRequest:
+		var req ObjectRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			p.cfg.Logf("bad object request: %v", err)
+			return false
+		}
+		go s.serveFallback(req.URL)
+	case TWindowUpdate:
+		if len(payload) < 8 {
+			p.cfg.Logf("short window update (%d bytes)", len(payload))
+			return false
+		}
+		id := binary.BigEndian.Uint32(payload[0:])
+		inc := binary.BigEndian.Uint32(payload[4:])
+		s.mu.Lock()
+		if s.mux != nil {
+			s.mux.credit(id, inc)
+			s.sendCond.Signal()
+		}
+		s.mu.Unlock()
+	default:
+		p.cfg.Logf("unexpected frame type %d", typ)
+	}
+	return true
 }
 
 // teardown releases everything a session holds: the connection, the pending
@@ -396,26 +443,58 @@ func (s *session) teardown() {
 func (s *session) writeLoop() {
 	defer close(s.writerDone)
 	for {
+		var (
+			f       outFrame
+			raw     []byte // preassembled mux frame (header included)
+			drained int64  // mux body bytes this frame releases
+			haveCtl bool
+		)
 		s.mu.Lock()
-		for len(s.sendq) == 0 && !s.closed {
+		for {
+			if s.closed {
+				s.drainLocked()
+				s.mu.Unlock()
+				return
+			}
+			// Control frames (settings, shed notes, fallback responses, legacy
+			// bundles) drain ahead of mux data; the TComplete barrier waits for
+			// every live stream to finish so completion never overtakes data.
+			if len(s.sendq) > 0 {
+				f = s.sendq[0]
+				s.sendq[0] = outFrame{}
+				s.sendq = s.sendq[1:]
+				haveCtl = true
+				break
+			}
+			if s.mux != nil {
+				if fr, n, ok := s.mux.nextFrame(); ok {
+					raw, drained = fr, int64(n)
+					break
+				}
+				if s.completeQueued && s.mux.live == 0 {
+					f = outFrame{typ: TComplete, payload: s.completeNote}
+					s.completeQueued = false
+					haveCtl = true
+					break
+				}
+			}
 			s.sendCond.Wait()
 		}
-		if s.closed {
-			s.drainLocked()
-			s.mu.Unlock()
-			return
-		}
-		f := s.sendq[0]
-		s.sendq[0] = outFrame{}
-		s.sendq = s.sendq[1:]
 		s.mu.Unlock()
 
-		err := s.fw.Write(f.typ, f.payload)
+		var err error
+		if haveCtl {
+			err = s.fw.Write(f.typ, f.payload)
+		} else {
+			// raw lives in the mux scratch buffer; only this goroutine calls
+			// nextFrame, so it stays valid across the unlocked write.
+			err = s.fw.WriteRaw(raw)
+		}
 
 		s.mu.Lock()
-		if f.reserved > 0 {
-			s.sendqBytes -= f.reserved
-			s.proxy.queued.Add(-f.reserved)
+		if rel := f.reserved + drained; rel > 0 {
+			s.sendqBytes -= rel
+			s.proxy.queued.Add(-rel)
 		}
 		if err != nil {
 			s.proxy.cfg.Logf("session write: %v", err)
@@ -439,6 +518,12 @@ func (s *session) drainLocked() {
 		}
 	}
 	s.sendq = nil
+	if s.mux != nil {
+		if n := s.mux.drain(); n > 0 {
+			s.sendqBytes -= n
+			s.proxy.queued.Add(-n)
+		}
+	}
 }
 
 // enqueueLocked appends one frame to the send queue and wakes the writer.
@@ -464,6 +549,20 @@ func (s *session) startPage(req PageRequest) {
 	s.have = make(map[string]bool, len(req.Have))
 	for _, u := range req.Have {
 		s.have[u] = true
+	}
+	if req.Mux {
+		s.mux = newMuxSender(cfg.MuxChunkSize, cfg.MuxStreamWindow, cfg.MuxConnWindow)
+		if len(req.Partial) > 0 {
+			s.partialOffsets = make(map[string]int64, len(req.Partial))
+			for _, po := range req.Partial {
+				if po.Bytes > 0 {
+					s.partialOffsets[po.URL] = po.Bytes
+				}
+			}
+		}
+		// Settings ride the control queue so the client learns the windows
+		// before the first stream frame.
+		s.enqueueLocked(outFrame{typ: TMuxSettings, payload: s.mux.settingsPayload()})
 	}
 	s.bundler = sched.NewBundler(cfg.Sched, s.flushLocked)
 	s.mu.Unlock()
@@ -595,11 +694,27 @@ func (s *session) declareComplete() {
 		ObjectsPushed:   s.pushed,
 		BytesPushed:     s.pushedBytes,
 		ObjectsSkipped:  s.skipped,
+		ObjectsResumed:  s.resumed,
 		ObjectsDeferred: s.deferredSeen,
 		ObjectsShed:     s.shedSeen,
 		CacheHits:       s.cacheHits,
 		CacheMisses:     s.cacheMisses,
 		OriginBytes:     s.originBytes,
+	}
+	if s.mux != nil {
+		// Under mux the note cannot ride the control queue — control frames
+		// drain ahead of stream data, and completion must come last. Stage it
+		// for the writer, which emits it once every live stream has finished.
+		data, err := json.Marshal(note)
+		if err != nil {
+			s.proxy.cfg.Logf("encode complete note: %v", err)
+		} else {
+			s.completeNote = data
+			s.completeQueued = true
+			s.sendCond.Signal()
+		}
+		s.mu.Unlock()
+		return
 	}
 	// The note rides the send queue so it cannot overtake queued bundles.
 	s.enqueueJSONLocked(TComplete, note)
@@ -616,7 +731,70 @@ func itemFromObject(o Object) sched.Item {
 // as the writer drains); and when the proxy-wide budget cannot cover the
 // bundle, items are shed to the client's direct-origin path.
 func (s *session) flushLocked(items []sched.Item, reason sched.FlushReason) {
+	if s.mux != nil {
+		s.admitMuxLocked(items)
+		return
+	}
 	s.admitLocked(items)
+}
+
+// admitMuxLocked admits scheduled items as parcelmux streams, one stream per
+// object. The same budgets apply as on the legacy path, but per item: a
+// stream reserves its remaining body bytes on admission and releases them
+// chunk by chunk as the writer drains. Once one item parks, the rest park
+// behind it so schedule order survives deferral.
+func (s *session) admitMuxLocked(items []sched.Item) {
+	if s.closed {
+		return
+	}
+	for i, it := range items {
+		if len(s.parked) > 0 {
+			s.parkLocked(items[i:])
+			return
+		}
+		s.admitMuxItemLocked(it, true)
+	}
+}
+
+// admitMuxItemLocked admits one object to the mux scheduler. fresh marks a
+// first-time admission (a park counts as a new deferral); re-admissions from
+// the parked list pass false so they are not double-counted.
+func (s *session) admitMuxItemLocked(it sched.Item, fresh bool) {
+	offset := s.partialOffsets[it.URL]
+	total := int64(len(it.Body))
+	if offset > total {
+		offset = total
+	}
+	rem := it.Body[offset:]
+	n := int64(len(rem))
+	if b := s.proxy.cfg.SessionPushBudget; b > 0 && s.sendqBytes > 0 && s.sendqBytes+n > b {
+		if fresh {
+			s.parkLocked([]sched.Item{it})
+		} else {
+			s.parked = append(s.parked, it)
+		}
+		return
+	}
+	if !s.proxy.reserve(n) {
+		switch {
+		case s.sendqBytes > 0 && fresh:
+			s.parkLocked([]sched.Item{it})
+		case s.sendqBytes > 0:
+			s.parked = append(s.parked, it)
+		default:
+			s.shedLocked([]sched.Item{it})
+		}
+		return
+	}
+	if offset > 0 {
+		s.resumed++
+		delete(s.partialOffsets, it.URL)
+	}
+	s.pushed++
+	s.pushedBytes += n
+	s.sendqBytes += n
+	s.mux.add(it.URL, it.ContentType, it.Status, rem, offset, total)
+	s.sendCond.Signal()
 }
 
 func (s *session) admitLocked(items []sched.Item) {
@@ -705,6 +883,10 @@ func (s *session) promoteParkedLocked() {
 // admitOneLocked re-admits a single previously-deferred item. Unlike
 // admitLocked it does not re-count a parked item as a new deferral.
 func (s *session) admitOneLocked(it sched.Item) {
+	if s.mux != nil {
+		s.admitMuxItemLocked(it, false)
+		return
+	}
 	payload := mhtml.Encode([]mhtml.Part{{URL: it.URL, ContentType: it.ContentType, Status: it.Status, Body: it.Body}})
 	n := int64(len(payload))
 	if b := s.proxy.cfg.SessionPushBudget; b > 0 && s.sendqBytes > 0 && s.sendqBytes+n > b {

@@ -23,6 +23,15 @@ const (
 	TObjectRequest
 	TObjectResponse // payload: MHTML bundle with one part
 	TShed           // payload: JSON ShedNote — objects the proxy will not push
+
+	// parcelmux frame types: the multiplexed stream layer. A session that
+	// requested Mux in its PageRequest receives objects as interleaved
+	// per-stream chunks instead of monolithic TBundle frames, so a large
+	// object can no longer head-of-line-block small critical ones.
+	TMuxSettings  // payload: [u32 streamWindow][u32 connWindow][u32 chunkSize]
+	TStreamOpen   // payload: [u32 id][flags][prio][uvarint offset,total][meta]
+	TStreamData   // payload: [u32 id][flags][chunk bytes]
+	TWindowUpdate // payload: [u32 id (0 = connection)][u32 increment]
 )
 
 // maxFrame bounds a frame payload (64 MB) against corrupt length prefixes.
@@ -31,11 +40,24 @@ const maxFrame = 64 << 20
 // PageRequest asks the proxy to load a page. Have lists objects the client
 // already holds — a reconnecting client resumes its session by re-sending the
 // request with a manifest, and the proxy pushes only what is still missing.
+// Partial extends the manifest to streams that were cut mid-object: the proxy
+// re-opens those streams at the recorded offset instead of resending the
+// prefix. Mux asks for the parcelmux stream layer; a proxy that honours it
+// answers with TMuxSettings before the first stream.
 type PageRequest struct {
-	URL       string   `json:"url"`
-	UserAgent string   `json:"user_agent,omitempty"`
-	Screen    string   `json:"screen,omitempty"`
-	Have      []string `json:"have,omitempty"`
+	URL       string          `json:"url"`
+	UserAgent string          `json:"user_agent,omitempty"`
+	Screen    string          `json:"screen,omitempty"`
+	Have      []string        `json:"have,omitempty"`
+	Partial   []PartialObject `json:"partial,omitempty"`
+	Mux       bool            `json:"mux,omitempty"`
+}
+
+// PartialObject is one partially-received stream in a resume manifest: the
+// client holds the first Bytes bytes of the object's body.
+type PartialObject struct {
+	URL   string `json:"url"`
+	Bytes int64  `json:"bytes"`
 }
 
 // CompleteNote is the §4.5 completion notification. ObjectsSkipped counts
@@ -48,6 +70,7 @@ type CompleteNote struct {
 	ObjectsPushed   int   `json:"objects_pushed"`
 	BytesPushed     int64 `json:"bytes_pushed"`
 	ObjectsSkipped  int   `json:"objects_skipped,omitempty"`
+	ObjectsResumed  int   `json:"objects_resumed,omitempty"`
 	ObjectsDeferred int   `json:"objects_deferred,omitempty"`
 	ObjectsShed     int   `json:"objects_shed,omitempty"`
 	CacheHits       int   `json:"cache_hits,omitempty"`
@@ -85,7 +108,8 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one framed message.
+// ReadFrame reads one framed message. The payload is freshly allocated; hot
+// loops that process-and-drop payloads should use ReadFramePooled instead.
 func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -98,6 +122,28 @@ func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// ReadFramePooled reads one framed message into a buffer from the
+// size-bucketed frame pool. The caller owns the payload until it calls
+// ReleaseFrameBuf — after that the bytes may be reused by another frame, so
+// anything retained (object bodies, strings) must be copied out first.
+func ReadFramePooled(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ = hdr[0]
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("parcelnet: frame length %d exceeds limit", n)
+	}
+	payload = grabFrameBuf(int(n))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		ReleaseFrameBuf(payload)
 		return 0, nil, err
 	}
 	return typ, payload, nil
@@ -126,6 +172,26 @@ func (fw *FrameWriter) WriteJSON(typ byte, v any) error {
 		return err
 	}
 	return fw.Write(typ, data)
+}
+
+// WriteRaw sends one pre-assembled frame — the 5-byte header is already in
+// place — as a single write. The mux sender builds frames into a reusable
+// buffer and ships them through here so a data chunk costs one syscall and
+// zero allocations.
+func (fw *FrameWriter) WriteRaw(frame []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	_, err := fw.w.Write(frame)
+	return err
+}
+
+// WriteWindowUpdate sends one flow-control credit: the receiver consumed
+// increment bytes of streamID (0 credits the connection-level window).
+func (fw *FrameWriter) WriteWindowUpdate(streamID, increment uint32) error {
+	var p [8]byte
+	binary.BigEndian.PutUint32(p[0:], streamID)
+	binary.BigEndian.PutUint32(p[4:], increment)
+	return fw.Write(TWindowUpdate, p[:])
 }
 
 // dialFunc abstracts net.Dial for netem-shaped connections in tests.
