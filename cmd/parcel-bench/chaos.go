@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/experiments"
+	"github.com/parcel-go/parcel/internal/httpsim"
+	"github.com/parcel-go/parcel/internal/metrics"
+	"github.com/parcel-go/parcel/internal/parcelnet"
+	"github.com/parcel-go/parcel/internal/replay"
+	"github.com/parcel-go/parcel/internal/resilience"
+	"github.com/parcel-go/parcel/internal/sched"
+	"github.com/parcel-go/parcel/internal/webgen"
+)
+
+// chaosArm is one arm of the chaos run in BENCH_chaos.json: the loadgen
+// numbers plus the resilience counters that prove the run was hostile and the
+// fleet absorbed it.
+type chaosArm struct {
+	loadgenArm
+
+	FaultsInjected int64 `json:"faults_injected"`
+	Retries        int64 `json:"retries"`
+	StaleServes    int64 `json:"stale_serves"`
+	BreakerOpens   int64 `json:"breaker_opens"`
+	DrainedNotices int64 `json:"drained_notices"`
+	DrainedClients int64 `json:"drained_clients"`
+
+	// PhaseP99MS splits p99 completion latency by phase: "0" is steady state,
+	// "1" is sessions that completed after the drain began (tcp arm only).
+	PhaseP99MS map[string]float64 `json:"phase_p99_ms,omitempty"`
+}
+
+// chaosReport is the JSON shape the chaosgen target writes.
+type chaosReport struct {
+	Tenants int        `json:"tenants"`
+	Arms    []chaosArm `json:"arms"`
+}
+
+func chaosArmFromReport(name string, tenants, pages int, r metrics.FleetReport, wall time.Duration) chaosArm {
+	arm := chaosArm{
+		loadgenArm:     armFromReport(name, tenants, pages, r, wall),
+		Retries:        r.Retries,
+		StaleServes:    r.StaleServes,
+		BreakerOpens:   r.BreakerOpens,
+		DrainedClients: r.Drained,
+	}
+	if len(r.PhaseP99) > 0 {
+		arm.PhaseP99MS = make(map[string]float64, len(r.PhaseP99))
+		for phase, p99 := range r.PhaseP99 {
+			arm.PhaseP99MS[strconv.Itoa(phase)] = float64(p99) / float64(time.Millisecond)
+		}
+	}
+	return arm
+}
+
+// benchChaos runs the chaos harness on both arms — the deterministic fleet
+// simulation under injected origin faults, and the real-TCP fleet under
+// origin faults plus a mid-run proxy drain and restart — and writes
+// BENCH_chaos.json. Gates: every session completes on both arms, the origins
+// actually injected faults, the retry path actually fired, the tcp drain
+// actually notified sessions, and no fallback write failed silently.
+func benchChaos(w io.Writer, tenants int, seed int64, path string) error {
+	header(w, "chaosgen: fleet under origin faults, proxy drain, and restart")
+	if tenants <= 0 {
+		tenants = 200
+	}
+	const nPages = 4
+
+	// Sim arm: a startup flap plus a steady error rate; the retry budget is
+	// sized so every fetch survives. Deterministic from the seed.
+	t0 := time.Now()
+	sim := experiments.LoadgenSim(experiments.LoadgenSimConfig{
+		Tenants:    tenants,
+		Pages:      nPages,
+		Seed:       seed,
+		Sched:      sched.ConfigONLD,
+		CacheBytes: 256 << 20,
+		OriginFaults: httpsim.OriginFaults{
+			ErrorRate: 0.05,
+			Flaps:     []httpsim.FlapWindow{{Start: 0, End: 300 * time.Millisecond}},
+		},
+		Resilience: &resilience.Policy{
+			Timeout:          10 * time.Second,
+			MaxRetries:       5,
+			BackoffBase:      200 * time.Millisecond,
+			BackoffMax:       time.Second,
+			FailureThreshold: 1 << 20,
+		},
+	})
+	simWall := time.Since(t0)
+	simFaults := int64(sim.Faults.Errors + sim.Faults.Stalls + sim.Faults.Partials + sim.Faults.FlapErrors)
+
+	// TCP arm: the same pages through a sharded proxy that is drained and
+	// restarted while the staggered fleet is mid-flight, with the origin
+	// flapping at startup and erroring throughout.
+	pages := webgen.Generate(webgen.Spec{Seed: seed, NumPages: nPages})
+	archive := replay.FromPages(pages...)
+	urls := make([]string, len(pages))
+	for i, p := range pages {
+		urls[i] = p.MainURL
+	}
+	t1 := time.Now()
+	tcp, err := parcelnet.RunChaosLoadgen(parcelnet.ChaosConfig{
+		Loadgen: parcelnet.LoadgenConfig{
+			Clients:     tenants,
+			Store:       replay.Rewriting{Store: archive},
+			URLs:        urls,
+			Sched:       sched.ConfigONLD,
+			Shards:      4,
+			CacheBytes:  256 << 20,
+			FixedRandom: true,
+			Mux:         true,
+			Stagger:     2 * time.Millisecond,
+		},
+		Faults: replay.OriginFaults{
+			ErrorRate: 0.1,
+			Seed:      seed,
+			Flaps:     []replay.FlapWindow{{Start: 0, End: 80 * time.Millisecond}},
+		},
+		Resilience: resilience.Policy{
+			MaxRetries:       3,
+			BackoffBase:      20 * time.Millisecond,
+			BackoffMax:       200 * time.Millisecond,
+			FailureThreshold: 1 << 20,
+		},
+		DrainAfter:   150 * time.Millisecond,
+		DrainTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		return fmt.Errorf("tcp chaos loadgen: %w", err)
+	}
+	tcpWall := time.Since(t1)
+
+	simArm := chaosArmFromReport("sim", tenants, nPages, sim.Report, simWall)
+	simArm.FaultsInjected = simFaults
+	tcpArm := chaosArmFromReport("tcp", tenants, nPages, tcp.Report, tcpWall)
+	tcpArm.FaultsInjected = tcp.Faults.Total()
+	tcpArm.StaleServes += tcp.Cache.StaleServes
+	tcpArm.DrainedNotices = tcp.DrainedSessions
+
+	rep := chaosReport{Tenants: tenants, Arms: []chaosArm{simArm, tcpArm}}
+	for _, arm := range rep.Arms {
+		fmt.Fprintf(w, "%-4s %4d tenants: completed=%d failed=%d p50=%.0fms p99=%.0fms faults=%d retries=%d stale=%d breaker=%d drained=%d wall=%.2fs\n",
+			arm.Arm, arm.Tenants, arm.Complete, arm.Failed, arm.P50MS, arm.P99MS,
+			arm.FaultsInjected, arm.Retries, arm.StaleServes, arm.BreakerOpens,
+			arm.DrainedClients, arm.WallSeconds)
+	}
+	if len(tcpArm.PhaseP99MS) > 0 {
+		fmt.Fprintf(w, "tcp phase p99:")
+		for _, phase := range []string{"0", "1"} {
+			if v, ok := tcpArm.PhaseP99MS[phase]; ok {
+				fmt.Fprintf(w, " phase%s=%.0fms", phase, v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+
+	for _, arm := range rep.Arms {
+		if arm.Failed > 0 || arm.Complete != tenants {
+			return fmt.Errorf("chaosgen %s arm: %d/%d sessions completed (%d failed)",
+				arm.Arm, arm.Complete, arm.Tenants, arm.Failed)
+		}
+		if arm.FaultsInjected == 0 {
+			return fmt.Errorf("chaosgen %s arm: origins injected no faults — the run was not chaotic", arm.Arm)
+		}
+		if arm.Retries == 0 {
+			return fmt.Errorf("chaosgen %s arm: resilient fetch path never retried", arm.Arm)
+		}
+		if arm.FallbackWriteErrors > 0 {
+			return fmt.Errorf("chaosgen %s arm: %d fallback object requests failed to write (silent degradation)",
+				arm.Arm, arm.FallbackWriteErrors)
+		}
+	}
+	if tcpArm.DrainedNotices == 0 {
+		return fmt.Errorf("chaosgen tcp arm: the drain notified no session")
+	}
+	return nil
+}

@@ -14,9 +14,11 @@
 // sweep and writes the result to BENCH_sweep.json; benchhotpath profiles
 // page-load allocations against the committed budget and writes
 // BENCH_hotpath.json; loadgen drives a multi-tenant fleet through one proxy
-// on both the virtual-clock and real-TCP arms and writes BENCH_loadgen.json.
-// All three always run by themselves, before any other requested target, so
-// nothing competes with the clock.
+// on both the virtual-clock and real-TCP arms and writes BENCH_loadgen.json;
+// chaosgen repeats the fleet run under injected origin faults plus a mid-run
+// proxy drain and restart and writes BENCH_chaos.json. These timing targets
+// always run by themselves, before any other requested target, so nothing
+// competes with the clock.
 //
 // Absolute numbers come from a simulator, not the authors' LTE testbed; the
 // shapes (who wins, by what factor, the trade-off orderings) are what the
@@ -61,6 +63,7 @@ func main() {
 	hotpathOut := flag.String("hotpathout", "BENCH_hotpath.json", "output path for the benchhotpath target")
 	minSpeedup := flag.Float64("minspeedup", 0, "benchsweep fails if parallel speedup is below this (0 = no floor; use on multi-core CI)")
 	loadgenOut := flag.String("loadgenout", "BENCH_loadgen.json", "output path for the loadgen target")
+	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for the chaosgen target")
 	tenants := flag.Int("tenants", 200, "loadgen fleet size (concurrent sessions per arm)")
 	loadgenP99 := flag.Duration("loadgenp99", 0, "loadgen fails if the sim arm's p99 completion latency exceeds this (0 = no gate)")
 	flag.Parse()
@@ -75,7 +78,7 @@ func main() {
 
 	targets := flag.Args()
 	if len(targets) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: parcel-bench [flags] TARGET...\ntargets: %s benchsweep benchhotpath all\n",
+		fmt.Fprintf(os.Stderr, "usage: parcel-bench [flags] TARGET...\ntargets: %s benchsweep benchhotpath loadgen chaosgen all\n",
 			strings.Join(allTargets, " "))
 		os.Exit(2)
 	}
@@ -89,6 +92,7 @@ func main() {
 	wantBench := false
 	wantHotpath := false
 	wantLoadgen := false
+	wantChaos := false
 	renderTargets := targets[:0:0]
 	for _, t := range targets {
 		if t == "benchsweep" {
@@ -103,8 +107,12 @@ func main() {
 			wantLoadgen = true
 			continue
 		}
+		if t == "chaosgen" {
+			wantChaos = true
+			continue
+		}
 		if !knownTarget(t) {
-			fmt.Fprintf(os.Stderr, "parcel-bench: unknown target %q (want one of %s benchsweep benchhotpath loadgen)\n",
+			fmt.Fprintf(os.Stderr, "parcel-bench: unknown target %q (want one of %s benchsweep benchhotpath loadgen chaosgen)\n",
 				t, strings.Join(allTargets, " "))
 			os.Exit(2)
 		}
@@ -127,6 +135,14 @@ func main() {
 	// loadgen also runs alone: its TCP arm reports wall-clock percentiles.
 	if wantLoadgen {
 		if err := benchLoadgen(os.Stdout, *tenants, *seed, *loadgenOut, *loadgenP99); err != nil {
+			fmt.Fprintf(os.Stderr, "parcel-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// chaosgen likewise: its TCP arm times drain/restart recovery on the
+	// wall clock.
+	if wantChaos {
+		if err := benchChaos(os.Stdout, *tenants, *seed, *chaosOut); err != nil {
 			fmt.Fprintf(os.Stderr, "parcel-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -76,12 +76,19 @@ var simDeterministic = map[string]bool{
 	// be driven by access order alone — a wall-clock or global-RNG read there
 	// would leak real time into golden figures.
 	"internal/objcache": true,
+	// The resilience layer (retry backoff, breaker cool-downs) sits on both
+	// arms too: the simulation threads virtual time and its seeded RNG through
+	// it, so a wall-clock or global-RNG read there would make retry schedules
+	// — and therefore golden chaos figures — irreproducible.
+	"internal/resilience": true,
 
 	// analysistest fixtures
 	"determ_sim":         true,
 	"determ_sim_clean":   true,
 	"determ_cache":       true,
 	"determ_cache_clean": true,
+	"determ_resil":       true,
+	"determ_resil_clean": true,
 }
 
 // realClockAllowlist is the checked-in exemption list: packages that talk to
@@ -116,10 +123,15 @@ var hotPackages = map[string]bool{
 	// closures there defeat the same pooling the simulation path protects.
 	"internal/runner":      true,
 	"internal/experiments": true,
+	// The resilience layer schedules retry continuations on the simulation
+	// arm; a capturing closure per retry would allocate on the same per-event
+	// path the rule protects.
+	"internal/resilience": true,
 
 	// analysistest fixtures
 	"noclosure_hot":   true,
 	"noclosure_clean": true,
+	"noclosure_resil": true,
 }
 
 // wirePackages lists the packages carrying the real-network framed-wire

@@ -1,0 +1,52 @@
+// Package determ_resil is the positive determinism fixture for the
+// resilience package class: every nondeterminism shortcut a retry/breaker
+// layer might reach for — wall-clock cool-down stamps, global-RNG backoff
+// jitter, map-order breaker dumps — must be flagged, because the simulation
+// arm threads virtual time and a seeded source through the layer and replays
+// chaos runs bit-identically from a seed.
+package determ_resil
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+type breaker struct {
+	openedAt time.Time
+	openFor  time.Duration
+}
+
+func (b *breaker) open() {
+	b.openedAt = time.Now() // want "call to time.Now in sim-deterministic package"
+}
+
+func (b *breaker) allow() bool {
+	return time.Since(b.openedAt) >= b.openFor // want "call to time.Since in sim-deterministic package"
+}
+
+func backoff(base time.Duration) time.Duration {
+	half := int64(base / 2)
+	return base/2 + time.Duration(rand.Int63n(half+1)) // want "top-level rand.Int63n draws from the global RNG"
+}
+
+type group struct {
+	breakers map[string]*breaker
+}
+
+func (g *group) openOrigins() []string {
+	var out []string
+	for origin, b := range g.breakers { // want "map iteration order flows into returned slice \"out\""
+		if b.allow() {
+			continue
+		}
+		out = append(out, origin)
+	}
+	return out
+}
+
+func (g *group) dump() {
+	for origin := range g.breakers { // want "map-range loop feeds fmt output"
+		fmt.Println(origin)
+	}
+}

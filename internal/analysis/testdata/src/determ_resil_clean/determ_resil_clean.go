@@ -1,0 +1,56 @@
+// Package determ_resil_clean is the negative determinism fixture for the
+// resilience package class: the caller owns the clock and the RNG — every
+// method takes "now" as an argument and every jitter draw comes from a
+// threaded *rand.Rand — and map walks either sort their keys or fold into
+// order-insensitive sums. Nothing here may be flagged.
+package determ_resil_clean
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type breaker struct {
+	openedAt time.Duration
+	openFor  time.Duration
+	opens    int64
+}
+
+func (b *breaker) open(now time.Duration) {
+	b.openedAt = now
+	b.opens++
+}
+
+func (b *breaker) allow(now time.Duration) bool {
+	return now-b.openedAt >= b.openFor
+}
+
+func backoff(base time.Duration, rng *rand.Rand) time.Duration {
+	half := int64(base / 2)
+	return base/2 + time.Duration(rng.Int63n(half+1))
+}
+
+type group struct {
+	breakers map[string]*breaker
+}
+
+func (g *group) openOrigins(now time.Duration) []string {
+	var out []string
+	for origin, b := range g.breakers {
+		if b.allow(now) {
+			continue
+		}
+		out = append(out, origin)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *group) opens() int64 {
+	var n int64
+	for _, b := range g.breakers { // commutative fold: order cannot escape
+		n += b.opens
+	}
+	return n
+}

@@ -1,0 +1,31 @@
+// Package noclosure_resil is the noclosure fixture for the resilience
+// package class: retry continuations scheduled on the simulation clock must
+// use ScheduleArgAt with typed fields, never a capturing closure — one
+// allocation per retry lands on the same per-event path the rule protects.
+package noclosure_resil
+
+type clock struct{}
+
+func (c *clock) Schedule(delay int64, fn func())               {}
+func (c *clock) ScheduleAt(at int64, fn func(any), _ any)      {}
+func (c *clock) ScheduleArgAt(at int64, fn func(any), arg any) {}
+
+type retry struct {
+	attempt int
+	url     string
+}
+
+func badRetryClosure(c *clock, r *retry, backoff int64) {
+	c.Schedule(backoff, func() { r.attempt++ }) // want "closure passed to Schedule captures \\[r\\]"
+}
+
+func retryStep(arg any) { arg.(*retry).attempt++ }
+
+func okRetryArg(c *clock, r *retry, backoff int64) {
+	c.ScheduleArgAt(backoff, retryStep, r)
+}
+
+func allowedProbeClosure(c *clock, r *retry, at int64) {
+	//parcelvet:allow noclosure(fixture: one half-open probe per cool-down, off the per-event path)
+	c.Schedule(at, func() { r.attempt = 0 })
+}

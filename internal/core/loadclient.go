@@ -103,6 +103,8 @@ func (c *LoadClient) SessionLoad() metrics.SessionLoad {
 		CacheMisses: c.note.CacheMisses,
 		EgressBytes: c.EgressBytes,
 		OriginBytes: c.note.OriginBytes,
+		Retries:     c.note.OriginRetries,
+		StaleServes: c.note.StaleServes,
 	}
 	if c.Notified {
 		l.Latency = c.CompleteAt - c.StartedAt

@@ -87,6 +87,12 @@ type completeNote struct {
 	CacheHits   int
 	CacheMisses int
 	OriginBytes int64
+
+	// OriginRetries/StaleServes surface the resilient fetch path's work for
+	// this session: re-attempts against failing origins, and objects served
+	// from a stale cache entry. Zero unless ProxyConfig.Resilience is set.
+	OriginRetries int
+	StaleServes   int
 }
 
 // objectRequest is the client's fallback fetch for a missing object.

@@ -7,6 +7,7 @@ import (
 	"github.com/parcel-go/parcel/internal/eventsim"
 	"github.com/parcel-go/parcel/internal/httpsim"
 	"github.com/parcel-go/parcel/internal/objcache"
+	"github.com/parcel-go/parcel/internal/resilience"
 	"github.com/parcel-go/parcel/internal/scenario"
 	"github.com/parcel-go/parcel/internal/sched"
 	"github.com/parcel-go/parcel/internal/simnet"
@@ -38,6 +39,14 @@ type ProxyConfig struct {
 	// fleet of tenants loading the same page pulls each object from the
 	// origin once. nil (the default) keeps the historical fetch-always path.
 	Cache *objcache.Cache
+	// Resilience, when non-nil, wraps every origin fetch in the
+	// internal/resilience discipline: per-attempt deadlines, jittered-backoff
+	// retries, and a per-origin circuit breaker — plus, with Cache set,
+	// serve-stale-on-error and negative caching. nil (the default) keeps the
+	// historical fetch path byte-identical; the retry backoff is the only new
+	// RNG consumer and it draws strictly after a failure, so fault-free runs
+	// reproduce the legacy event stream exactly.
+	Resilience *resilience.Policy
 }
 
 // DefaultProxyConfig returns the evaluation defaults (IND schedule).
@@ -64,7 +73,15 @@ type Proxy struct {
 	// sessions (single-flight): the origin is asked once, every waiting
 	// session is delivered at arrival. Only allocated when cfg.Cache is set.
 	flights map[string]*simFlight
+
+	// resil holds the per-origin circuit breakers of the resilient fetch
+	// path. Only allocated when cfg.Resilience is set.
+	resil *resilience.Group
 }
+
+// Resilience exposes the proxy's breaker group for harness-level accounting
+// (nil unless ProxyConfig.Resilience was set).
+func (p *Proxy) Resilience() *resilience.Group { return p.resil }
 
 // simFlight is one in-progress shared-cache origin fetch; waiters are the
 // sessions that requested the URL while it was already on the wire.
@@ -83,6 +100,14 @@ func StartProxy(topo *scenario.Topology, cfg ProxyConfig) *Proxy {
 	p := &Proxy{topo: topo, cfg: cfg}
 	if cfg.Cache != nil {
 		p.flights = make(map[string]*simFlight)
+	}
+	if cfg.Resilience != nil {
+		pol := cfg.Resilience.WithDefaults()
+		if err := pol.Validate(); err != nil {
+			panic("core: bad resilience policy: " + err.Error())
+		}
+		p.cfg.Resilience = &pol
+		p.resil = resilience.NewGroup(pol)
 	}
 	topo.Proxy.Listen(func(c *simnet.Conn) {
 		s := &ProxySession{proxy: p, conn: c}
@@ -134,6 +159,15 @@ type ProxySession struct {
 	CacheHits   int
 	CacheMisses int
 	OriginBytes int64
+
+	// Resilient-path accounting (zero unless ProxyConfig.Resilience is set):
+	// OriginRetries counts origin re-attempts made on this session's behalf,
+	// StaleServes counts objects served from a stale cache entry because the
+	// origin failed past its retry budget, and BreakerFastFails counts
+	// fetches refused outright by an open per-origin breaker.
+	OriginRetries    int
+	StaleServes      int
+	BreakerFastFails int
 }
 
 // proxyFetcher wraps the proxy's origin HTTP client, teeing every response
@@ -149,6 +183,10 @@ func (f *proxyFetcher) Fetch(url string, cb func(browser.Result)) {
 		// these itself over the fallback path (§4.5).
 		f.s.SkippedHTTPS++
 		cb(browser.Result{URL: url, Status: 204, At: f.s.proxy.topo.Sim.Now()})
+		return
+	}
+	if f.s.proxy.cfg.Resilience != nil {
+		f.fetchResilient(url, cb)
 		return
 	}
 	if c := f.s.proxy.cfg.Cache; c != nil {
@@ -181,7 +219,7 @@ func (f *proxyFetcher) Fetch(url string, cb func(browser.Result)) {
 			f.s.OriginBytes += int64(len(resp.Body))
 			c.Put(objcache.Object{
 				URL: resp.URL, ContentType: resp.ContentType, Status: resp.Status,
-				Validator: simValidator, Body: resp.Body,
+				Validator: originValidator(resp), Body: resp.Body,
 			})
 			it := sched.Item{
 				URL: resp.URL, ContentType: resp.ContentType, Status: resp.Status,
@@ -209,10 +247,6 @@ func (f *proxyFetcher) Fetch(url string, cb func(browser.Result)) {
 		cb(browser.Result{URL: resp.URL, Status: resp.Status, ContentType: resp.ContentType, Body: resp.Body, At: at})
 	})
 }
-
-// simValidator is the freshness token for simulated origins: replay stores
-// are immutable for a topology's lifetime, so one generation suffices.
-const simValidator = "sim"
 
 // cachedDelivery carries one cache hit to its continuation (the noclosure
 // ScheduleArgAt idiom: package-level func + typed argument, no capture).
@@ -373,6 +407,8 @@ func (s *ProxySession) declareComplete() {
 		CacheHits:     s.CacheHits,
 		CacheMisses:   s.CacheMisses,
 		OriginBytes:   s.OriginBytes,
+		OriginRetries: s.OriginRetries,
+		StaleServes:   s.StaleServes,
 	}
 	s.conn.Send(s.proxy.topo.Proxy, 160, note, labelComplete, nil)
 }

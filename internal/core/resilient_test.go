@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/httpsim"
+	"github.com/parcel-go/parcel/internal/objcache"
+	"github.com/parcel-go/parcel/internal/resilience"
+	"github.com/parcel-go/parcel/internal/scenario"
+	"github.com/parcel-go/parcel/internal/sched"
+)
+
+// testResiliencePolicy is a permissive policy for tests that exercise
+// retries without tripping the breaker.
+func testResiliencePolicy() *resilience.Policy {
+	return &resilience.Policy{
+		Timeout:          10 * time.Second,
+		MaxRetries:       5,
+		BackoffBase:      500 * time.Millisecond,
+		BackoffMax:       2 * time.Second,
+		FailureThreshold: 1000,
+		OpenFor:          3 * time.Second,
+	}
+}
+
+// TestSimResilientNoFaultsMatchesLegacy pins the golden-figure contract: with
+// the resilient path armed but no faults injected, a page load produces the
+// same virtual-clock milestones as the legacy fetch path — deadline events
+// are scheduled and cancelled, no retry ever fires, no extra RNG is drawn.
+func TestSimResilientNoFaultsMatchesLegacy(t *testing.T) {
+	page := testPage(t, 0)
+
+	legacyRun, _, _ := parcelRun(t, page, sched.ConfigIND)
+
+	topo := scenario.Build(page, scenario.DefaultParams())
+	pc := DefaultProxyConfig()
+	pc.Resilience = testResiliencePolicy()
+	proxy := StartProxy(topo, pc)
+	client := NewClient(topo, DefaultClientConfig())
+	run := client.Load()
+
+	if run.OLT != legacyRun.OLT || run.TLT != legacyRun.TLT {
+		t.Errorf("resilient fault-free run diverged: OLT %v vs %v, TLT %v vs %v",
+			run.OLT, legacyRun.OLT, run.TLT, legacyRun.TLT)
+	}
+	sess := proxy.Sessions[0]
+	if sess.OriginRetries != 0 || sess.StaleServes != 0 || sess.BreakerFastFails != 0 {
+		t.Errorf("fault-free run consumed the resilience machinery: %+v", sess)
+	}
+	if proxy.Resilience().Opens() != 0 {
+		t.Error("breaker opened with no faults")
+	}
+}
+
+// TestSimResilientRetriesThroughFlap flaps every origin for the first two
+// virtual seconds: the retry budget carries each fetch past the window, the
+// page completes in full, and the retries surface in session accounting and
+// the completion note.
+func TestSimResilientRetriesThroughFlap(t *testing.T) {
+	page := testPage(t, 0)
+	params := scenario.DefaultParams()
+	params.OriginFaults = httpsim.OriginFaults{
+		Flaps: []httpsim.FlapWindow{{Start: 0, End: 2 * time.Second}},
+	}
+	topo := scenario.Build(page, params)
+	pc := DefaultProxyConfig()
+	pc.Resilience = testResiliencePolicy()
+	proxy := StartProxy(topo, pc)
+	client := NewClient(topo, DefaultClientConfig())
+	run := client.Load()
+
+	if run.OLT == 0 {
+		t.Fatal("onload never fired: retries did not carry the page past the flap")
+	}
+	sess := proxy.Sessions[0]
+	if sess.OriginRetries == 0 {
+		t.Error("no origin retries recorded through a 2 s flap window")
+	}
+	if sess.ObjectsPushed < page.ObjectCount {
+		t.Errorf("proxy pushed %d objects, page has %d", sess.ObjectsPushed, page.ObjectCount)
+	}
+	var flaps int
+	for _, srv := range topo.Origins {
+		flaps += srv.FaultStats().FlapErrors
+	}
+	if flaps == 0 {
+		t.Error("origins injected no flap errors")
+	}
+}
+
+// TestSimResilientBreakerOpens drives retries into a permanently erroring
+// origin with a tight threshold: the per-origin breaker opens mid-retry, the
+// remaining budget fast-fails instead of dialing, and the counters say so.
+func TestSimResilientBreakerOpens(t *testing.T) {
+	page := testPage(t, 0)
+	params := scenario.DefaultParams()
+	params.OriginFaults = httpsim.OriginFaults{ErrorRate: 1}
+	topo := scenario.Build(page, params)
+	pc := DefaultProxyConfig()
+	pc.Resilience = &resilience.Policy{
+		Timeout:          5 * time.Second,
+		MaxRetries:       4,
+		BackoffBase:      100 * time.Millisecond,
+		FailureThreshold: 2,
+		OpenFor:          time.Minute,
+	}
+	proxy := StartProxy(topo, pc)
+	client := NewClient(topo, DefaultClientConfig())
+	client.Load()
+
+	sess := proxy.Sessions[0]
+	if sess.OriginRetries == 0 {
+		t.Error("no retries against an always-erroring origin")
+	}
+	if sess.BreakerFastFails == 0 {
+		t.Error("breaker never fast-failed a retry after opening")
+	}
+	if proxy.Resilience().Opens() == 0 {
+		t.Error("breaker never opened despite threshold 2 and ErrorRate 1")
+	}
+}
+
+// TestSimResilientServesStaleWhenOriginFails warms the shared cache with one
+// clean load, then flaps every origin forever and loads the page again: the
+// second session is served entirely from stale cache entries, completes, and
+// tags the degradation in StaleServes on the session and its completion note.
+func TestSimResilientServesStaleWhenOriginFails(t *testing.T) {
+	page := testPage(t, 0)
+	topo := scenario.Build(page, scenario.DefaultParams())
+	pc := DefaultProxyConfig()
+	pc.Cache = objcache.New(objcache.Config{
+		Capacity: 64 << 20,
+		FreshFor: time.Nanosecond, // everything is stale by the next load
+		NegTTL:   time.Second,
+	})
+	pc.Resilience = &resilience.Policy{
+		Timeout:          5 * time.Second,
+		MaxRetries:       0,
+		FailureThreshold: 1 << 30, // keep the breaker out of this test
+	}
+	proxy := StartProxy(topo, pc)
+
+	warm := NewClient(topo, DefaultClientConfig())
+	if run := warm.Load(); run.OLT == 0 {
+		t.Fatal("warm load never fired onload")
+	}
+
+	// Every origin fails from here on.
+	for _, srv := range topo.Origins {
+		if err := srv.SetFaults(httpsim.OriginFaults{
+			Flaps: []httpsim.FlapWindow{{Start: 0, End: 1000 * time.Hour}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	client := NewClient(topo, DefaultClientConfig())
+	run := client.Load()
+	if run.OLT == 0 {
+		t.Fatal("stale load never fired onload: serve-stale did not carry the page")
+	}
+	sess := proxy.Sessions[1]
+	if sess.StaleServes == 0 {
+		t.Error("no stale serves recorded with every origin flapping")
+	}
+	if sess.ObjectsPushed < page.ObjectCount {
+		t.Errorf("stale session pushed %d objects, page has %d", sess.ObjectsPushed, page.ObjectCount)
+	}
+	st := pc.Cache.Stats()
+	if st.StaleServes == 0 {
+		t.Errorf("cache recorded no stale serves: %+v", st)
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"github.com/parcel-go/parcel/internal/core"
+	"github.com/parcel-go/parcel/internal/httpsim"
 	"github.com/parcel-go/parcel/internal/metrics"
 	"github.com/parcel-go/parcel/internal/objcache"
+	"github.com/parcel-go/parcel/internal/resilience"
 	"github.com/parcel-go/parcel/internal/scenario"
 	"github.com/parcel-go/parcel/internal/sched"
 	"github.com/parcel-go/parcel/internal/webgen"
@@ -35,6 +37,19 @@ type LoadgenSimConfig struct {
 	QuietPeriod time.Duration
 	// Scenario overrides the topology defaults (zero value = defaults).
 	Scenario scenario.Params
+
+	// OriginFaults arms fault injection on every origin server (the chaos
+	// arm). The zero value injects nothing and keeps the run bit-identical to
+	// the historical loadgen figures.
+	OriginFaults httpsim.OriginFaults
+	// Resilience, when set, arms the proxy's resilient origin-fetch path:
+	// per-attempt deadlines, retry budget, per-origin breakers. Nil keeps the
+	// legacy fetch path.
+	Resilience *resilience.Policy
+	// CacheFreshFor is the shared cache's freshness window under Resilience —
+	// entries older than it revalidate at the origin and serve stale when the
+	// origin is failing. 0 means entries never go stale.
+	CacheFreshFor time.Duration
 }
 
 // LoadgenSimResult is a simulated fleet run's full measurement.
@@ -42,6 +57,9 @@ type LoadgenSimResult struct {
 	Loads  []metrics.SessionLoad
 	Report metrics.FleetReport
 	Cache  objcache.Stats
+	// Faults aggregates what every origin injected (all zero without
+	// OriginFaults).
+	Faults httpsim.OriginFaultStats
 }
 
 // LoadgenSim runs one fleet simulation: build the multi-tenant topology,
@@ -68,6 +86,9 @@ func LoadgenSim(cfg LoadgenSimConfig) LoadgenSimResult {
 		params = scenario.DefaultParams()
 	}
 	params.Seed = cfg.Seed
+	if cfg.OriginFaults.Active() {
+		params.OriginFaults = cfg.OriginFaults
+	}
 
 	pages := webgen.Generate(webgen.Spec{Seed: cfg.Seed, NumPages: cfg.Pages})
 	fleet := scenario.BuildFleet(pages, cfg.Tenants, params)
@@ -75,12 +96,18 @@ func LoadgenSim(cfg LoadgenSimConfig) LoadgenSimResult {
 	pc := core.DefaultProxyConfig()
 	pc.Sched = cfg.Sched
 	pc.QuietPeriod = cfg.QuietPeriod
+	pc.Resilience = cfg.Resilience
 	var cache *objcache.Cache
 	if cfg.CacheBytes > 0 {
-		cache = objcache.New(objcache.Config{Capacity: cfg.CacheBytes})
+		ccfg := objcache.Config{Capacity: cfg.CacheBytes}
+		if cfg.Resilience != nil {
+			ccfg.FreshFor = cfg.CacheFreshFor
+			ccfg.NegTTL = cfg.Resilience.WithDefaults().NegTTL
+		}
+		cache = objcache.New(ccfg)
 		pc.Cache = cache
 	}
-	core.StartProxy(fleet.Topology, pc)
+	proxy := core.StartProxy(fleet.Topology, pc)
 
 	clients := make([]*core.LoadClient, cfg.Tenants)
 	for i := range clients {
@@ -97,6 +124,16 @@ func LoadgenSim(cfg LoadgenSimConfig) LoadgenSimResult {
 	res := LoadgenSimResult{Loads: loads, Report: metrics.Fleet(loads)}
 	if cache != nil {
 		res.Cache = cache.Stats()
+	}
+	if g := proxy.Resilience(); g != nil {
+		res.Report.BreakerOpens = g.Opens()
+	}
+	for _, srv := range fleet.Origins {
+		fs := srv.FaultStats()
+		res.Faults.Errors += fs.Errors
+		res.Faults.Stalls += fs.Stalls
+		res.Faults.Partials += fs.Partials
+		res.Faults.FlapErrors += fs.FlapErrors
 	}
 	return res
 }

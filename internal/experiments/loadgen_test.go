@@ -3,7 +3,10 @@ package experiments
 import (
 	"reflect"
 	"testing"
+	"time"
 
+	"github.com/parcel-go/parcel/internal/httpsim"
+	"github.com/parcel-go/parcel/internal/resilience"
 	"github.com/parcel-go/parcel/internal/sched"
 )
 
@@ -53,6 +56,104 @@ func TestLoadgenSimSharedCache(t *testing.T) {
 	if withCache >= nocache.Report.OriginBytes/2 {
 		t.Errorf("shared cache barely reduced origin traffic: %d cached vs %d uncached",
 			withCache, nocache.Report.OriginBytes)
+	}
+}
+
+// chaosSimConfig is the shared fixture for the sim-arm chaos tests: a fleet
+// under a startup origin flap plus a steady error rate, with the resilient
+// fetch path armed to carry sessions through.
+func chaosSimConfig() LoadgenSimConfig {
+	return LoadgenSimConfig{
+		Tenants:    40,
+		Pages:      2,
+		Seed:       7,
+		Sched:      sched.ConfigIND,
+		CacheBytes: 64 << 20,
+		OriginFaults: httpsim.OriginFaults{
+			ErrorRate: 0.05,
+			Flaps:     []httpsim.FlapWindow{{Start: 0, End: 300 * time.Millisecond}},
+		},
+		Resilience: &resilience.Policy{
+			Timeout:          10 * time.Second,
+			MaxRetries:       5,
+			BackoffBase:      200 * time.Millisecond,
+			BackoffMax:       time.Second,
+			FailureThreshold: 1 << 20,
+		},
+	}
+}
+
+// TestLoadgenSimChaos is the deterministic chaos arm: origin faults bite, the
+// retry budget absorbs them, and every tenant still completes.
+func TestLoadgenSimChaos(t *testing.T) {
+	res := LoadgenSim(chaosSimConfig())
+	r := res.Report
+	if r.Completed != 40 {
+		t.Fatalf("%d/40 tenants completed (%d failed) under origin faults", r.Completed, r.Failed)
+	}
+	total := res.Faults.Errors + res.Faults.Stalls + res.Faults.Partials + res.Faults.FlapErrors
+	if total == 0 {
+		t.Error("origins injected no faults")
+	}
+	if r.Retries == 0 {
+		t.Error("resilient fetch path never retried")
+	}
+	if !(r.P50 > 0 && r.P50 <= r.P99) {
+		t.Errorf("percentiles unordered: p50=%v p99=%v", r.P50, r.P99)
+	}
+}
+
+// TestLoadgenSimOriginFaultProfiles is the CI chaos job's origin-fault
+// matrix: each profile — outright errors, slow stalls, timed flaps — is run
+// on its own (the job crosses the subtests with CHAOS_SEED), every tenant
+// must complete through it, the profile's own fault kind must actually fire,
+// and the run must reproduce bit-identically from the seed.
+func TestLoadgenSimOriginFaultProfiles(t *testing.T) {
+	profiles := []struct {
+		name   string
+		faults httpsim.OriginFaults
+		fired  func(s httpsim.OriginFaultStats) int
+	}{
+		{"errors",
+			httpsim.OriginFaults{ErrorRate: 0.25},
+			func(s httpsim.OriginFaultStats) int { return s.Errors }},
+		{"stalls",
+			httpsim.OriginFaults{StallRate: 0.3, StallFor: 500 * time.Millisecond},
+			func(s httpsim.OriginFaultStats) int { return s.Stalls }},
+		{"flaps",
+			httpsim.OriginFaults{Flaps: []httpsim.FlapWindow{
+				{Start: 0, End: 300 * time.Millisecond},
+				{Start: time.Second, End: 1200 * time.Millisecond},
+			}},
+			func(s httpsim.OriginFaultStats) int { return s.FlapErrors }},
+	}
+	for _, p := range profiles {
+		t.Run(p.name, func(t *testing.T) {
+			cfg := chaosSimConfig()
+			cfg.Seed = chaosSeed()
+			cfg.OriginFaults = p.faults
+			res := LoadgenSim(cfg)
+			if res.Report.Completed != cfg.Tenants {
+				t.Fatalf("%d/%d tenants completed (%d failed) under %s profile, seed %d",
+					res.Report.Completed, cfg.Tenants, res.Report.Failed, p.name, cfg.Seed)
+			}
+			if p.fired(res.Faults) == 0 {
+				t.Errorf("%s profile injected none of its own fault kind: %+v", p.name, res.Faults)
+			}
+			if again := LoadgenSim(cfg); !reflect.DeepEqual(res, again) {
+				t.Errorf("%s profile at seed %d not reproducible", p.name, cfg.Seed)
+			}
+		})
+	}
+}
+
+// TestLoadgenSimChaosDeterministic pins that the chaos arm — fault RNG, retry
+// backoff RNG and all — replays bit-identically from its seed.
+func TestLoadgenSimChaosDeterministic(t *testing.T) {
+	a := LoadgenSim(chaosSimConfig())
+	b := LoadgenSim(chaosSimConfig())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two runs of one chaos LoadgenSimConfig produced different results")
 	}
 }
 

@@ -1,0 +1,193 @@
+package httpsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func faultStore() MapStore {
+	return MapStore{
+		"http://example.com/": {URL: "http://example.com/", ContentType: "text/html", Body: []byte("<html>0123456789</html>")},
+	}
+}
+
+func TestOriginFaultsValidate(t *testing.T) {
+	good := []OriginFaults{
+		{},
+		{ErrorRate: 0.5, StallRate: 0.3, PartialRate: 0.2},
+		{Flaps: []FlapWindow{{Start: time.Second, End: 2 * time.Second}}},
+	}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("good config %+v rejected: %v", f, err)
+		}
+	}
+	bad := []OriginFaults{
+		{ErrorRate: -0.1},
+		{StallRate: 1.5},
+		{ErrorRate: 0.6, StallRate: 0.6},
+		{StallFor: -time.Second},
+		{Flaps: []FlapWindow{{Start: 2 * time.Second, End: time.Second}}},
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Fatalf("bad config %+v accepted", f)
+		}
+	}
+}
+
+func TestOriginFaultsInactiveDrawsNothing(t *testing.T) {
+	// Two identical runs, one with SetFaults(zero value) and one without,
+	// must consume identical RNG state: an inactive config is free.
+	run := func(arm bool) (int64, Response) {
+		f := newFixture(t, faultStore(), 6)
+		if arm {
+			if err := f.server.SetFaults(OriginFaults{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got Response
+		f.client.Do(Request{Method: "GET", URL: "http://example.com/"}, func(r Response, at time.Duration) { got = r })
+		f.sim.Run()
+		return f.sim.Rand().Int63(), got
+	}
+	d1, r1 := run(false)
+	d2, r2 := run(true)
+	if d1 != d2 {
+		t.Fatalf("inactive faults perturbed RNG: %d vs %d", d1, d2)
+	}
+	if r1.Status != 200 || r2.Status != 200 || !bytes.Equal(r1.Body, r2.Body) {
+		t.Fatalf("inactive faults changed responses: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestOriginFaultErrorRate(t *testing.T) {
+	f := newFixture(t, faultStore(), 6)
+	if err := f.server.SetFaults(OriginFaults{ErrorRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var got Response
+	f.client.Do(Request{Method: "GET", URL: "http://example.com/"}, func(r Response, at time.Duration) { got = r })
+	f.sim.Run()
+	if got.Status != 503 {
+		t.Fatalf("status = %d, want 503", got.Status)
+	}
+	if s := f.server.FaultStats(); s.Errors != 1 || s.Total() != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestOriginFaultStallDelaysResponse(t *testing.T) {
+	stall := 3 * time.Second
+	f := newFixture(t, faultStore(), 6)
+	if err := f.server.SetFaults(OriginFaults{StallRate: 1, StallFor: stall}); err != nil {
+		t.Fatal(err)
+	}
+	var at time.Duration
+	var got Response
+	f.client.Do(Request{Method: "GET", URL: "http://example.com/"}, func(r Response, t time.Duration) { got, at = r, t })
+	f.sim.Run()
+	if got.Status != 200 {
+		t.Fatalf("stalled response status = %d", got.Status)
+	}
+	if at < stall {
+		t.Fatalf("response at %v, want >= stall %v", at, stall)
+	}
+	if s := f.server.FaultStats(); s.Stalls != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestOriginFaultPartialTruncatesBody(t *testing.T) {
+	full := faultStore()["http://example.com/"].Body
+	f := newFixture(t, faultStore(), 6)
+	if err := f.server.SetFaults(OriginFaults{PartialRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var got Response
+	f.client.Do(Request{Method: "GET", URL: "http://example.com/"}, func(r Response, at time.Duration) { got = r })
+	f.sim.Run()
+	if got.Status != 502 {
+		t.Fatalf("partial status = %d, want 502", got.Status)
+	}
+	if len(got.Body) != len(full)/2 {
+		t.Fatalf("partial body %d bytes, want %d", len(got.Body), len(full)/2)
+	}
+	// The truncated response carries the full body's validator, so a retry
+	// that succeeds lands in the same cache generation.
+	if got.Validator != ContentValidator(full) {
+		t.Fatalf("partial validator %q != full-body validator %q", got.Validator, ContentValidator(full))
+	}
+}
+
+func TestOriginFaultFlapWindow(t *testing.T) {
+	f := newFixture(t, faultStore(), 6)
+	// Requests land shortly after t=0 (DNS + handshake); flap the origin for
+	// the first 10 virtual seconds so the first request hits the window.
+	if err := f.server.SetFaults(OriginFaults{Flaps: []FlapWindow{{Start: 0, End: 10 * time.Second}}}); err != nil {
+		t.Fatal(err)
+	}
+	var got Response
+	f.client.Do(Request{Method: "GET", URL: "http://example.com/"}, func(r Response, at time.Duration) { got = r })
+	f.sim.Run()
+	if got.Status != 503 {
+		t.Fatalf("flapped status = %d, want 503", got.Status)
+	}
+	if s := f.server.FaultStats(); s.FlapErrors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestOriginFaultsDeterministic(t *testing.T) {
+	run := func() (oks, errs int) {
+		f := newFixture(t, faultStore(), 6)
+		if err := f.server.SetFaults(OriginFaults{ErrorRate: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			f.client.Do(Request{Method: "GET", URL: "http://example.com/"}, func(r Response, at time.Duration) {
+				if r.Status == 200 {
+					oks++
+				} else {
+					errs++
+				}
+			})
+		}
+		f.sim.Run()
+		return oks, errs
+	}
+	o1, e1 := run()
+	o2, e2 := run()
+	if o1 != o2 || e1 != e2 {
+		t.Fatalf("same seed diverged: %d/%d vs %d/%d", o1, e1, o2, e2)
+	}
+	if o1 == 0 || e1 == 0 {
+		t.Fatalf("50%% error rate produced %d oks, %d errors", o1, e1)
+	}
+}
+
+func TestValidatorThreading(t *testing.T) {
+	pinned := faultStore()
+	obj := pinned["http://example.com/"]
+	obj.Validator = "etag-pinned"
+	pinned["http://example.com/"] = obj
+	f := newFixture(t, pinned, 6)
+	var got Response
+	f.client.Do(Request{Method: "GET", URL: "http://example.com/"}, func(r Response, at time.Duration) { got = r })
+	f.sim.Run()
+	if got.Validator != "etag-pinned" {
+		t.Fatalf("pinned validator not served: %q", got.Validator)
+	}
+
+	// Derived validator: content hash, stable across requests.
+	f2 := newFixture(t, faultStore(), 6)
+	var v1, v2 string
+	f2.client.Do(Request{Method: "GET", URL: "http://example.com/"}, func(r Response, at time.Duration) { v1 = r.Validator })
+	f2.client.Do(Request{Method: "GET", URL: "http://example.com/"}, func(r Response, at time.Duration) { v2 = r.Validator })
+	f2.sim.Run()
+	want := ContentValidator(faultStore()["http://example.com/"].Body)
+	if v1 != want || v2 != want {
+		t.Fatalf("derived validators %q/%q, want %q", v1, v2, want)
+	}
+}

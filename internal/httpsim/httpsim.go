@@ -38,6 +38,11 @@ type Response struct {
 	URL         string
 	ContentType string
 	Body        []byte // actual content; parsers consume this
+	// Validator is the origin's content validator (ETag): the stored object's
+	// Validator if set, otherwise ContentValidator over the body. Truncated
+	// (partial-fault) responses keep the full body's validator, so a retry
+	// that fetches the complete object lands in the same cache generation.
+	Validator string
 }
 
 // WireSize is the bytes the response occupies on the wire.
@@ -74,6 +79,9 @@ type Object struct {
 	ContentType string
 	Body        []byte
 	Status      int // 0 means 200
+	// Validator optionally pins the object's content validator (ETag). Empty
+	// means servers derive one from the body with ContentValidator.
+	Validator string
 }
 
 // Store resolves a URL to origin content.
@@ -104,9 +112,17 @@ const (
 // Server serves objects from a store at a simnet host. One Server instance
 // handles every connection arriving at its host.
 type Server struct {
+	sched *eventsim.Simulator
 	host  *simnet.Host
 	store Store
 	think time.Duration
+
+	faults OriginFaults
+	stats  OriginFaultStats
+	// validators memoizes ContentValidator per URL: origin stores are
+	// immutable within a run, and hashing a large body on every request would
+	// put real work on the hot path for nothing.
+	validators map[string]string
 
 	// Requests counts requests served (including 404s).
 	Requests int
@@ -116,7 +132,7 @@ type Server struct {
 // per-request processing (think) time. sched is the simulation the host
 // belongs to.
 func NewServer(sched *eventsim.Simulator, host *simnet.Host, store Store, think time.Duration) *Server {
-	s := &Server{host: host, store: store, think: think}
+	s := &Server{sched: sched, host: host, store: store, think: think, validators: make(map[string]string)}
 	host.Listen(func(c *simnet.Conn) {
 		c.OnMessage(host, func(m simnet.Message) {
 			if _, isHello := m.Payload.(tlsHello); isHello {
@@ -128,6 +144,12 @@ func NewServer(sched *eventsim.Simulator, host *simnet.Host, store Store, think 
 				return
 			}
 			s.Requests++
+			fault := s.decideFault()
+			if fault == faultError || fault == faultFlap {
+				resp := Response{Status: 503, URL: req.URL, Body: []byte("origin unavailable")}
+				c.Send(host, resp.WireSize(), resp, req.URL, nil)
+				return
+			}
 			respond := func() {
 				obj, found := s.store.Get(req.URL)
 				resp := Response{Status: 200, URL: req.URL, ContentType: obj.ContentType, Body: obj.Body}
@@ -136,16 +158,44 @@ func NewServer(sched *eventsim.Simulator, host *simnet.Host, store Store, think 
 				} else if obj.Status != 0 {
 					resp.Status = obj.Status
 				}
+				if found {
+					resp.Validator = s.validatorFor(req.URL, obj)
+				}
+				if fault == faultPartial && resp.Status == 200 {
+					// A truncated transfer: half the body arrives, then the
+					// connection-level failure surfaces as a 502. The
+					// validator stays the full body's so a successful retry
+					// joins the same cache generation.
+					resp.Status = 502
+					resp.Body = resp.Body[:len(resp.Body)/2]
+				}
 				c.Send(host, resp.WireSize(), resp, req.URL, nil)
 			}
-			if s.think > 0 {
-				sched.Schedule(s.think, respond)
+			delay := s.think
+			if fault == faultStall {
+				delay += s.faults.StallFor
+			}
+			if delay > 0 {
+				sched.Schedule(delay, respond)
 			} else {
 				respond()
 			}
 		})
 	})
 	return s
+}
+
+// validatorFor resolves obj's content validator, memoizing derived hashes.
+func (s *Server) validatorFor(url string, obj Object) string {
+	if obj.Validator != "" {
+		return obj.Validator
+	}
+	if v, ok := s.validators[url]; ok {
+		return v
+	}
+	v := ContentValidator(obj.Body)
+	s.validators[url] = v
+	return v
 }
 
 // Directory maps domain names to the simnet hosts that serve them.

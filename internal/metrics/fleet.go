@@ -42,6 +42,19 @@ type SessionLoad struct {
 	// proxy failed — requests the proxy never saw. Nonzero means the session
 	// silently lost fallbacks; load generators gate on the fleet total.
 	FallbackWriteErrors int
+
+	// Retries counts origin re-attempts the proxy's resilient fetch path made
+	// on this session's behalf, plus any client-side reconnect attempts.
+	Retries int
+	// StaleServes counts objects served from a stale cache entry because the
+	// origin was failing past its retry budget.
+	StaleServes int
+	// Drained reports that a proxy drain interrupted this session mid-page
+	// (the client reconnected with a resume manifest or fell back to DIR).
+	Drained bool
+	// Phase tags the session for per-phase percentiles in chaos runs (e.g. 0 =
+	// completed before the drain, 1 = after). Harness-defined.
+	Phase int
 }
 
 // FleetReport aggregates a load-generator run: per-session latency
@@ -71,6 +84,19 @@ type FleetReport struct {
 	Shed     int64
 
 	FallbackWriteErrors int64
+
+	// Retries/StaleServes/Drained sum the fleet's resilience counters;
+	// BreakerOpens is filled in by the harness from the proxy's breaker group
+	// (it is proxy-wide, not per-session).
+	Retries      int64
+	StaleServes  int64
+	Drained      int64
+	BreakerOpens int64
+
+	// PhaseP99 maps each phase tag seen in the loads to that phase's p99
+	// completion latency — how the chaos harness separates "before the drain"
+	// from "after the restart". Nil when every session is phase 0.
+	PhaseP99 map[int]time.Duration
 }
 
 // Fleet reduces per-session loads to the fleet report. Percentiles are over
@@ -80,6 +106,8 @@ func Fleet(loads []SessionLoad) FleetReport {
 	r.Sessions = len(loads)
 	lat := make([]float64, 0, len(loads))
 	ttfc := make([]float64, 0, len(loads))
+	phases := make(map[int][]float64)
+	phased := false
 	for _, l := range loads {
 		if l.Completed {
 			r.Completed++
@@ -87,8 +115,12 @@ func Fleet(loads []SessionLoad) FleetReport {
 			if l.FirstCritical > 0 {
 				ttfc = append(ttfc, l.FirstCritical.Seconds())
 			}
+			phases[l.Phase] = append(phases[l.Phase], l.Latency.Seconds())
 		} else {
 			r.Failed++
+		}
+		if l.Phase != 0 {
+			phased = true
 		}
 		r.CacheHits += int64(l.CacheHits)
 		r.CacheMisses += int64(l.CacheMisses)
@@ -97,6 +129,17 @@ func Fleet(loads []SessionLoad) FleetReport {
 		r.Deferred += int64(l.Deferred)
 		r.Shed += int64(l.Shed)
 		r.FallbackWriteErrors += int64(l.FallbackWriteErrors)
+		r.Retries += int64(l.Retries)
+		r.StaleServes += int64(l.StaleServes)
+		if l.Drained {
+			r.Drained++
+		}
+	}
+	if phased {
+		r.PhaseP99 = make(map[int]time.Duration, len(phases))
+		for ph, ls := range phases {
+			r.PhaseP99[ph] = time.Duration(stats.Percentile(ls, 99) * float64(time.Second))
+		}
 	}
 	if len(lat) > 0 {
 		r.P50 = time.Duration(stats.Percentile(lat, 50) * float64(time.Second))

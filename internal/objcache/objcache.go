@@ -20,6 +20,7 @@ import (
 	"hash/fnv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Object is one cached origin object. Body is immutable by contract: callers
@@ -42,17 +43,27 @@ type Config struct {
 	Capacity int64
 	// Segments is the lock-sharding width (default 8, rounded up to one).
 	Segments int
+	// FreshFor is how long a stored entry counts as fresh before lookups must
+	// revalidate at the origin. Zero (the default) means entries never go
+	// stale — the legacy behavior.
+	FreshFor time.Duration
+	// NegTTL is how long a hard origin failure is negatively cached (serve
+	// stale / fail fast without re-contacting the origin). Zero disables
+	// negative caching.
+	NegTTL time.Duration
 }
 
 // Stats is a point-in-time aggregate across segments.
 type Stats struct {
-	Hits      int64 // Get/GetOrFetch served from a resident entry
-	Misses    int64 // lookups that found nothing resident
-	Evictions int64 // entries removed under byte pressure
-	Shared    int64 // GetOrFetch callers that joined another caller's fetch
-	Entries   int   // resident objects
-	Bytes     int64 // resident body bytes
-	Capacity  int64 // configured budget
+	Hits        int64 // Get/GetOrFetch served from a resident entry
+	Misses      int64 // lookups that found nothing resident
+	Evictions   int64 // entries removed under byte pressure
+	Shared      int64 // GetOrFetch callers that joined another caller's fetch
+	StaleServes int64 // stale bodies served because the origin was failing
+	NegHits     int64 // lookups answered inside a negative-cache window
+	Entries     int   // resident objects
+	Bytes       int64 // resident body bytes
+	Capacity    int64 // configured budget
 }
 
 // Cache is a segmented, size-bounded, single-flight object cache. All methods
@@ -63,7 +74,11 @@ type Cache struct {
 
 // entry is one resident object on a segment's intrusive LRU list.
 type entry struct {
-	obj        Object
+	obj Object
+	// storedAt is the caller-supplied time the entry was (re)stored; with a
+	// FreshFor window it bounds freshness. stale forces revalidation early.
+	storedAt   time.Duration
+	stale      bool
 	prev, next *entry
 }
 
@@ -77,14 +92,20 @@ type flight struct {
 type segment struct {
 	mu       sync.Mutex
 	cap      int64
+	freshFor time.Duration
+	negTTL   time.Duration
 	bytes    int64
 	entries  map[string]*entry
 	flights  map[string]*flight
-	lru      list
-	hits     int64
-	misses   int64
-	evicted  int64
-	shared   int64
+	// neg maps key -> end of its negative-cache window.
+	neg         map[string]time.Duration
+	lru         list
+	hits        int64
+	misses      int64
+	evicted     int64
+	shared      int64
+	staleServes int64
+	negHits     int64
 }
 
 // New builds a cache with the given budget. A zero or negative capacity
@@ -98,8 +119,11 @@ func New(cfg Config) *Cache {
 	per := cfg.Capacity / int64(cfg.Segments)
 	for i := range c.segs {
 		c.segs[i].cap = per
+		c.segs[i].freshFor = cfg.FreshFor
+		c.segs[i].negTTL = cfg.NegTTL
 		c.segs[i].entries = make(map[string]*entry)
 		c.segs[i].flights = make(map[string]*flight)
+		c.segs[i].neg = make(map[string]time.Duration)
 	}
 	return c
 }
@@ -161,15 +185,18 @@ func (c *Cache) Put(obj Object) {
 	s.mu.Unlock()
 }
 
-func (s *segment) putLocked(key string, obj Object) {
+// putLocked stores obj and returns its resident entry — the refreshed
+// same-generation entry or the freshly inserted one — or nil when the store
+// was rejected (error status or oversize).
+func (s *segment) putLocked(key string, obj Object) *entry {
 	if obj.Status >= 400 || int64(len(obj.Body)) > s.cap {
-		return
+		return nil
 	}
 	if e, ok := s.entries[key]; ok {
 		if e.obj.Validator == obj.Validator {
 			// Same generation: keep the first body (purity), refresh recency.
 			s.lru.moveToFront(e)
-			return
+			return e
 		}
 		s.bytes -= int64(len(e.obj.Body))
 		s.lru.remove(e)
@@ -191,6 +218,7 @@ func (s *segment) putLocked(key string, obj Object) {
 		s.evicted++
 	}
 	checkAccounting(s)
+	return e
 }
 
 // GetOrFetch returns the object for url, fetching it at most once across
@@ -241,6 +269,8 @@ func (c *Cache) Stats() Stats {
 		st.Misses += s.misses
 		st.Evictions += s.evicted
 		st.Shared += s.shared
+		st.StaleServes += s.staleServes
+		st.NegHits += s.negHits
 		st.Entries += len(s.entries)
 		st.Bytes += s.bytes
 		st.Capacity += s.cap

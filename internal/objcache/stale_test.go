@@ -1,0 +1,305 @@
+package objcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func staleCache(freshFor, negTTL time.Duration) *Cache {
+	return New(Config{Capacity: 1 << 20, Segments: 1, FreshFor: freshFor, NegTTL: negTTL})
+}
+
+func sobj(url, body string) Object {
+	return Object{URL: url, ContentType: "text/html", Status: 200, Validator: "v-" + body, Body: []byte(body)}
+}
+
+func TestProbeAtFreshnessWindow(t *testing.T) {
+	c := staleCache(10*time.Second, 0)
+	c.PutAt(sobj("http://a.com/x", "one"), 5*time.Second)
+
+	if _, lk := c.ProbeAt("http://a.com/x", 6*time.Second); lk != LookupFresh {
+		t.Fatalf("inside window: %v", lk)
+	}
+	if o, lk := c.ProbeAt("http://a.com/x", 20*time.Second); lk != LookupStale || string(o.Body) != "one" {
+		t.Fatalf("past window: %v, body %q", lk, o.Body)
+	}
+	if _, lk := c.ProbeAt("http://a.com/other", 0); lk != LookupMiss {
+		t.Fatalf("missing url: %v", lk)
+	}
+}
+
+func TestZeroFreshForNeverStale(t *testing.T) {
+	c := staleCache(0, 0)
+	c.PutAt(sobj("http://a.com/x", "one"), 0)
+	if _, lk := c.ProbeAt("http://a.com/x", 1000*time.Hour); lk != LookupFresh {
+		t.Fatalf("FreshFor=0 entry went stale: %v", lk)
+	}
+}
+
+func TestMarkStaleForcesRevalidation(t *testing.T) {
+	c := staleCache(time.Hour, 0)
+	c.PutAt(sobj("http://a.com/x", "one"), 0)
+	c.MarkStale("http://a.com/x")
+	if _, lk := c.ProbeAt("http://a.com/x", time.Second); lk != LookupStale {
+		t.Fatalf("marked entry not stale: %v", lk)
+	}
+	// A successful re-store clears the mark.
+	c.PutAt(sobj("http://a.com/x", "one"), 2*time.Second)
+	if _, lk := c.ProbeAt("http://a.com/x", 3*time.Second); lk != LookupFresh {
+		t.Fatalf("re-stored entry still stale: %v", lk)
+	}
+}
+
+func TestNegativeCacheWindow(t *testing.T) {
+	c := staleCache(0, 5*time.Second)
+	c.NoteFailure("http://a.com/x", 10*time.Second)
+	if !c.NegativeActive("http://a.com/x", 12*time.Second) {
+		t.Fatal("window not active at +2s")
+	}
+	if c.NegativeActive("http://a.com/x", 15*time.Second) {
+		t.Fatal("window active at exactly TTL")
+	}
+	// Expired windows are pruned and stay inactive.
+	if c.NegativeActive("http://a.com/x", 16*time.Second) {
+		t.Fatal("window active after expiry")
+	}
+	st := c.Stats()
+	if st.NegHits != 1 {
+		t.Fatalf("NegHits = %d, want 1", st.NegHits)
+	}
+}
+
+func TestNoteFailureNoopWithoutNegTTL(t *testing.T) {
+	c := staleCache(0, 0)
+	c.NoteFailure("http://a.com/x", 0)
+	if c.NegativeActive("http://a.com/x", 0) {
+		t.Fatal("negative caching active with NegTTL=0")
+	}
+}
+
+func TestPutClearsNegativeWindow(t *testing.T) {
+	c := staleCache(0, time.Minute)
+	c.NoteFailure("http://a.com/x", 0)
+	c.PutAt(sobj("http://a.com/x", "recovered"), time.Second)
+	if c.NegativeActive("http://a.com/x", 2*time.Second) {
+		t.Fatal("successful store left the negative window up")
+	}
+}
+
+func TestRejectedPutDoesNotRefresh(t *testing.T) {
+	c := staleCache(10*time.Second, time.Minute)
+	c.PutAt(sobj("http://a.com/x", "one"), 0)
+	c.NoteFailure("http://a.com/x", 15*time.Second)
+	// A 503 response must neither refresh the stale entry nor clear the
+	// negative window.
+	c.PutAt(Object{URL: "http://a.com/x", Status: 503, Validator: "err", Body: []byte("oops")}, 16*time.Second)
+	if _, lk := c.ProbeAt("http://a.com/x", 17*time.Second); lk != LookupStale {
+		t.Fatalf("rejected store refreshed entry: %v", lk)
+	}
+	if !c.NegativeActive("http://a.com/x", 17*time.Second) {
+		t.Fatal("rejected store cleared negative window")
+	}
+}
+
+func TestServeStaleCountsAndServes(t *testing.T) {
+	c := staleCache(time.Second, 0)
+	c.PutAt(sobj("http://a.com/x", "one"), 0)
+	o, ok := c.ServeStale("http://a.com/x")
+	if !ok || string(o.Body) != "one" {
+		t.Fatalf("ServeStale = %v %q", ok, o.Body)
+	}
+	if _, ok := c.ServeStale("http://a.com/none"); ok {
+		t.Fatal("served stale for absent key")
+	}
+	if st := c.Stats(); st.StaleServes != 1 {
+		t.Fatalf("StaleServes = %d, want 1", st.StaleServes)
+	}
+}
+
+func TestGetOrFetchStaleFreshHit(t *testing.T) {
+	c := staleCache(10*time.Second, time.Second)
+	c.PutAt(sobj("http://a.com/x", "one"), 0)
+	o, out, err := c.GetOrFetchStale("http://a.com/x", 5*time.Second, func() (Object, error) {
+		t.Fatal("fetched despite fresh entry")
+		return Object{}, nil
+	})
+	if err != nil || out != OutcomeHit || string(o.Body) != "one" {
+		t.Fatalf("out=%v err=%v body=%q", out, err, o.Body)
+	}
+}
+
+func TestGetOrFetchStaleRevalidates(t *testing.T) {
+	c := staleCache(10*time.Second, time.Second)
+	c.PutAt(sobj("http://a.com/x", "one"), 0)
+	o, out, err := c.GetOrFetchStale("http://a.com/x", 30*time.Second, func() (Object, error) {
+		return sobj("http://a.com/x", "two"), nil
+	})
+	if err != nil || out != OutcomeFetched || string(o.Body) != "two" {
+		t.Fatalf("out=%v err=%v body=%q", out, err, o.Body)
+	}
+	// Entry is fresh again (new validator generation replaced the old body).
+	if o2, lk := c.ProbeAt("http://a.com/x", 35*time.Second); lk != LookupFresh || string(o2.Body) != "two" {
+		t.Fatalf("after revalidate: %v %q", lk, o2.Body)
+	}
+}
+
+func TestGetOrFetchStaleServesStaleOnFailure(t *testing.T) {
+	c := staleCache(10*time.Second, 5*time.Second)
+	c.PutAt(sobj("http://a.com/x", "one"), 0)
+	boom := errors.New("origin down")
+	o, out, err := c.GetOrFetchStale("http://a.com/x", 30*time.Second, func() (Object, error) {
+		return Object{}, boom
+	})
+	if err != nil || out != OutcomeStale || string(o.Body) != "one" {
+		t.Fatalf("out=%v err=%v body=%q", out, err, o.Body)
+	}
+	// The failure is negatively cached: the next call inside the window must
+	// serve stale without invoking fetch.
+	o, out, err = c.GetOrFetchStale("http://a.com/x", 32*time.Second, func() (Object, error) {
+		t.Fatal("fetched inside negative window")
+		return Object{}, nil
+	})
+	if err != nil || out != OutcomeStale || string(o.Body) != "one" {
+		t.Fatalf("neg window: out=%v err=%v body=%q", out, err, o.Body)
+	}
+	st := c.Stats()
+	if st.StaleServes != 2 || st.NegHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetOrFetchStaleFailsWithNothingResident(t *testing.T) {
+	c := staleCache(0, 5*time.Second)
+	boom := errors.New("origin down")
+	_, out, err := c.GetOrFetchStale("http://a.com/x", 0, func() (Object, error) {
+		return Object{}, boom
+	})
+	if out != OutcomeFailed || !errors.Is(err, boom) {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	// Inside the negative window with nothing resident: fail fast.
+	_, out, err = c.GetOrFetchStale("http://a.com/x", time.Second, func() (Object, error) {
+		t.Fatal("fetched inside negative window")
+		return Object{}, nil
+	})
+	if out != OutcomeFailed || !errors.Is(err, ErrNegativeCached) {
+		t.Fatalf("neg window: out=%v err=%v", out, err)
+	}
+	// Past the window the origin is retried.
+	o, out, err := c.GetOrFetchStale("http://a.com/x", 10*time.Second, func() (Object, error) {
+		return sobj("http://a.com/x", "back"), nil
+	})
+	if err != nil || out != OutcomeFetched || string(o.Body) != "back" {
+		t.Fatalf("recovery: out=%v err=%v body=%q", out, err, o.Body)
+	}
+}
+
+func TestGetOrFetchStaleSingleFlight(t *testing.T) {
+	c := staleCache(10*time.Second, time.Second)
+	const callers = 8
+	gate := make(chan struct{})
+	var fetches int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, out, err := c.GetOrFetchStale("http://a.com/x", 0, func() (Object, error) {
+				<-gate
+				mu.Lock()
+				fetches++
+				mu.Unlock()
+				return sobj("http://a.com/x", "one"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			outcomes[i] = out
+		}(i)
+	}
+	// Give the callers a moment to pile onto the flight, then release it.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if fetches != 1 {
+		t.Fatalf("fetches = %d, want 1 (single flight)", fetches)
+	}
+	for i, out := range outcomes {
+		if out != OutcomeFetched {
+			t.Fatalf("caller %d outcome %v", i, out)
+		}
+	}
+}
+
+func TestGetOrFetchStaleJoinerGetsStaleOnFailure(t *testing.T) {
+	c := staleCache(10*time.Second, time.Second)
+	c.PutAt(sobj("http://a.com/x", "one"), 0)
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	results := make([]Outcome, 2)
+	go func() {
+		defer wg.Done()
+		_, out, _ := c.GetOrFetchStale("http://a.com/x", 30*time.Second, func() (Object, error) {
+			close(entered)
+			<-gate
+			return Object{}, errors.New("origin down")
+		})
+		results[0] = out
+	}()
+	go func() {
+		defer wg.Done()
+		<-entered // the first caller owns the flight
+		_, out, _ := c.GetOrFetchStale("http://a.com/x", 30*time.Second, func() (Object, error) {
+			t.Error("joiner fetched")
+			return Object{}, nil
+		})
+		results[1] = out
+	}()
+	go func() {
+		// Let the joiner actually join before the flight fails.
+		time.Sleep(20 * time.Millisecond)
+		close(gate)
+	}()
+	wg.Wait()
+	if results[0] != OutcomeStale || results[1] != OutcomeStale {
+		t.Fatalf("outcomes = %v, want both stale", results)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for out, want := range map[Outcome]string{
+		OutcomeHit: "hit", OutcomeFetched: "fetched", OutcomeStale: "stale",
+		OutcomeFailed: "failed", Outcome(42): "unknown",
+	} {
+		if out.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(out), out.String(), want)
+		}
+	}
+}
+
+func TestStaleLayerKeepsLegacyPathIdentical(t *testing.T) {
+	// A cache configured without FreshFor/NegTTL must behave exactly like the
+	// legacy cache through the legacy API even when stale APIs are poked.
+	c := New(Config{Capacity: 1 << 20, Segments: 4})
+	for i := 0; i < 50; i++ {
+		url := fmt.Sprintf("http://a.com/%d", i)
+		c.Put(sobj(url, fmt.Sprintf("body-%d", i)))
+	}
+	for i := 0; i < 50; i++ {
+		url := fmt.Sprintf("http://a.com/%d", i)
+		if _, ok := c.Get(url); !ok {
+			t.Fatalf("legacy get missed %s", url)
+		}
+	}
+	st := c.Stats()
+	if st.StaleServes != 0 || st.NegHits != 0 {
+		t.Fatalf("legacy path touched stale counters: %+v", st)
+	}
+}

@@ -133,6 +133,9 @@ type Client struct {
 	// PartialResumes counts objects completed from a mid-stream resume (the
 	// reconnect manifest carried a nonzero offset for them).
 	PartialResumes int
+	// Drained counts TDrain notices received: the proxy asked this session to
+	// move off while it shut down, handing back a resume manifest.
+	Drained int
 	// FallbackWriteErrors counts fallback TObjectRequest writes that failed —
 	// requests the proxy never saw. Loadgen gates on this so silent fallback
 	// failures cannot pass as healthy runs.
@@ -353,6 +356,26 @@ func (c *Client) handleClientFrame(typ byte, payload []byte) bool {
 			// before the page asks for them.
 			go c.fetchShed(missing)
 		}
+	case TDrain:
+		var note DrainNote
+		if err := jsonUnmarshal(payload, &note); err != nil {
+			c.cfg.Logf("bad drain note: %v", err)
+		}
+		c.mu.Lock()
+		c.Drained++
+		if c.notified {
+			// The page already completed; there is nothing to resume. Flagging
+			// degraded keeps the dying connection from reading as a failure and
+			// routes any later missing-object fetch to the direct-origin path.
+			c.degraded = true
+		}
+		conn := c.conn
+		c.mu.Unlock()
+		c.cfg.Logf("proxy draining (%d objects pending); recovering", len(note.Pending))
+		// Closing our side sends the read loop through the standard disconnect
+		// path: harvest partial streams, reconnect with the resume manifest,
+		// or fall back to the direct origin once the budget is spent.
+		conn.Close()
 	case TComplete:
 		var note CompleteNote
 		if err := jsonUnmarshal(payload, &note); err == nil {
@@ -721,6 +744,9 @@ func (c *Client) SessionLoad(id int) metrics.SessionLoad {
 		Deferred:            c.note.ObjectsDeferred,
 		Shed:                c.note.ObjectsShed,
 		FallbackWriteErrors: c.FallbackWriteErrors,
+		Retries:             c.note.OriginRetries + c.Retries,
+		StaleServes:         c.note.StaleServes,
+		Drained:             c.Drained > 0,
 	}
 	if c.page != nil {
 		l.Page = c.page.URL

@@ -288,6 +288,20 @@ func (m *muxSender) pendingBytes() int64 {
 	return n
 }
 
+// pendingURLs lists the live streams that still have unsent body bytes — the
+// objects a drain notice must hand back to the client as pending work.
+func (m *muxSender) pendingURLs() []string {
+	var urls []string
+	for _, q := range m.classes {
+		for _, s := range q {
+			if s.remaining() > 0 {
+				urls = append(urls, s.url)
+			}
+		}
+	}
+	return urls
+}
+
 // drain empties the scheduler at session teardown and returns the body bytes
 // whose push-budget reservation the caller must release. Idempotent: a
 // second call finds nothing live and returns 0.

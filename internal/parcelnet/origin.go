@@ -1,8 +1,8 @@
 package parcelnet
 
 import (
+	"context"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/parcel-go/parcel/internal/httpsim"
+	"github.com/parcel-go/parcel/internal/replay"
 )
 
 // Origin is a real HTTP server that serves a replay store. All logical
@@ -19,9 +20,14 @@ import (
 // reconstructed from the request's Host header, exactly how the paper's
 // web-page-replay server answers for every recorded domain (§7.3).
 type Origin struct {
-	store httpsim.Store
-	srv   *http.Server
-	ln    net.Listener
+	store   httpsim.Store
+	srv     *http.Server
+	ln      net.Listener
+	started time.Time
+
+	// faults, when set, makes per-request fault decisions (errors, stalls,
+	// truncated bodies, flaps). Install with SetFaults before traffic.
+	faults *replay.FaultInjector
 
 	// requests counts served requests (atomic: the server handles
 	// concurrent crawler fetches).
@@ -31,13 +37,25 @@ type Origin struct {
 // Requests returns how many requests the origin has served.
 func (o *Origin) Requests() int64 { return o.requests.Load() }
 
+// SetFaults arms fault injection. Call before serving traffic; the injector
+// field is not synchronized against in-flight requests.
+func (o *Origin) SetFaults(fi *replay.FaultInjector) { o.faults = fi }
+
+// FaultStats returns injected-fault counts (zero value when no injector).
+func (o *Origin) FaultStats() replay.FaultStats {
+	if o.faults == nil {
+		return replay.FaultStats{}
+	}
+	return o.faults.Stats()
+}
+
 // StartOrigin serves store on addr ("127.0.0.1:0" for an ephemeral port).
 func StartOrigin(addr string, store httpsim.Store) (*Origin, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	o := &Origin{store: store, ln: ln}
+	o := &Origin{store: store, ln: ln, started: time.Now()}
 	o.srv = &http.Server{Handler: http.HandlerFunc(o.handle), ReadHeaderTimeout: 5 * time.Second}
 	go o.srv.Serve(ln)
 	return o, nil
@@ -51,6 +69,20 @@ func (o *Origin) Close() error { return o.srv.Close() }
 
 func (o *Origin) handle(w http.ResponseWriter, r *http.Request) {
 	o.requests.Add(1)
+	fault := replay.FaultNone
+	if o.faults != nil {
+		fault = o.faults.Decide(time.Since(o.started))
+	}
+	if fault == replay.FaultError {
+		http.Error(w, "origin unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	if fault == replay.FaultStall {
+		// A slow origin, not a dead one: the response arrives after the stall,
+		// pinning the fetcher's connection (and, without the resilient fetch
+		// path's per-attempt deadline, the session waiting on it).
+		time.Sleep(o.faults.StallFor())
+	}
 	logical := "http://" + r.Host + r.URL.RequestURI()
 	obj, ok := o.store.Get(logical)
 	if !ok {
@@ -60,13 +92,27 @@ func (o *Origin) handle(w http.ResponseWriter, r *http.Request) {
 	if obj.ContentType != "" {
 		w.Header().Set("Content-Type", obj.ContentType)
 	}
+	validator := obj.Validator
+	if validator == "" {
+		validator = BodyValidator(obj.Body)
+	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(obj.Body)))
-	w.Header().Set("ETag", `"`+BodyValidator(obj.Body)+`"`)
+	w.Header().Set("ETag", `"`+validator+`"`)
 	status := obj.Status
 	if status == 0 {
 		status = http.StatusOK
 	}
 	w.WriteHeader(status)
+	if fault == replay.FaultPartial {
+		// Truncated transfer: advertise the full length, deliver half, then
+		// abort the connection so the fetcher sees a real io error instead of
+		// a clean short body.
+		w.Write(obj.Body[:len(obj.Body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
 	w.Write(obj.Body)
 }
 
@@ -100,13 +146,11 @@ func NewOriginFetcherN(addr string, maxConns int) *OriginFetcher {
 	}
 }
 
-// BodyValidator derives the content digest the origin serves as its ETag: a
-// cheap stand-in for a real origin's validator that still guarantees "same
-// validator ⇒ same bytes", the invariant the shared object cache is built on.
+// BodyValidator derives the content digest the origin serves as its ETag: the
+// canonical content-hash validator shared with the simulation arm, so "same
+// validator ⇒ same bytes" holds across both arms' caches.
 func BodyValidator(body []byte) string {
-	h := fnv.New64a()
-	h.Write(body)
-	return strconv.FormatUint(h.Sum64(), 16)
+	return httpsim.ContentValidator(body)
 }
 
 // Fetch retrieves a logical URL, returning the body and content type.
@@ -119,8 +163,15 @@ func (f *OriginFetcher) Fetch(logicalURL string) (body []byte, contentType strin
 // content digest of the body when the origin sends none, so the validator is
 // never empty for a successful response).
 func (f *OriginFetcher) FetchValidated(logicalURL string) (body []byte, contentType string, status int, validator string, err error) {
+	return f.FetchValidatedCtx(context.Background(), logicalURL)
+}
+
+// FetchValidatedCtx is FetchValidated under a caller context: the resilient
+// fetch path uses the context deadline as its per-attempt timeout, well under
+// the Client's own 30 s backstop.
+func (f *OriginFetcher) FetchValidatedCtx(ctx context.Context, logicalURL string) (body []byte, contentType string, status int, validator string, err error) {
 	domain, path := httpsim.SplitURL(logicalURL)
-	req, err := http.NewRequest(http.MethodGet, "http://"+f.OriginAddr+path, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+f.OriginAddr+path, nil)
 	if err != nil {
 		return nil, "", 0, "", err
 	}
@@ -132,7 +183,7 @@ func (f *OriginFetcher) FetchValidated(logicalURL string) (body []byte, contentT
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, "", 0, "", err
+		return nil, "", 0, "", fmt.Errorf("fetch %s: %w", logicalURL, err)
 	}
 	validator = strings.Trim(resp.Header.Get("ETag"), `"`)
 	if validator == "" {

@@ -3,16 +3,19 @@ package parcelnet
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/parcel-go/parcel/internal/mhtml"
 	"github.com/parcel-go/parcel/internal/objcache"
+	"github.com/parcel-go/parcel/internal/resilience"
 	"github.com/parcel-go/parcel/internal/sched"
 )
 
@@ -64,6 +67,18 @@ type ProxyConfig struct {
 	// buffers so backpressure is reachable at test scale).
 	WrapConn func(net.Conn) net.Conn
 
+	// Resilience, when set, wraps origin fetches in the internal/resilience
+	// discipline: per-attempt deadlines, a jittered-backoff retry budget, and
+	// per-origin circuit breakers. With the shared cache enabled it also
+	// arms serve-stale-on-error (CacheFreshFor) and negative caching
+	// (Policy.NegTTL). Nil keeps the legacy fetch path byte-for-byte.
+	Resilience *resilience.Policy
+	// CacheFreshFor is the shared cache's freshness window under Resilience:
+	// entries older than this are revalidated at the origin, and served stale
+	// when the origin is failing. 0 means entries never go stale (the legacy
+	// behavior). Ignored without Resilience or without CacheBytes.
+	CacheFreshFor time.Duration
+
 	// MuxChunkSize is the parcelmux data-chunk size for sessions that request
 	// the stream layer (0 means 32 KB). MuxStreamWindow and MuxConnWindow are
 	// the initial per-stream and per-connection flow-control windows (0 means
@@ -85,13 +100,15 @@ type Proxy struct {
 	ln    net.Listener
 	wg    sync.WaitGroup
 	fetch *OriginFetcher
-	cache *objcache.Cache // nil when CacheBytes == 0
+	cache *objcache.Cache   // nil when CacheBytes == 0
+	res   *resilientFetcher // nil when Resilience is not configured
 
 	// queued is the proxy-wide reservation counter for encoded-but-unsent
 	// bundle bytes; deferred/shedTotal aggregate admission outcomes.
 	queued    atomic.Int64
 	deferred  atomic.Int64
 	shedTotal atomic.Int64
+	drained   atomic.Int64
 	closed    atomic.Bool
 
 	shards []*shard
@@ -144,8 +161,20 @@ func StartProxy(addr string, cfg ProxyConfig) (*Proxy, error) {
 		ln:    ln,
 		fetch: NewOriginFetcherN(cfg.OriginAddr, cfg.OriginConns),
 	}
+	if cfg.Resilience != nil {
+		if err := cfg.Resilience.Validate(); err != nil {
+			ln.Close()
+			return nil, err
+		}
+		p.res = newResilientFetcher(p.fetch, *cfg.Resilience)
+	}
 	if cfg.CacheBytes > 0 {
-		p.cache = objcache.New(objcache.Config{Capacity: cfg.CacheBytes, Segments: cfg.Shards})
+		ccfg := objcache.Config{Capacity: cfg.CacheBytes, Segments: cfg.Shards}
+		if p.res != nil {
+			ccfg.FreshFor = cfg.CacheFreshFor
+			ccfg.NegTTL = p.res.policy.NegTTL
+		}
+		p.cache = objcache.New(ccfg)
 	}
 	p.shards = make([]*shard, cfg.Shards)
 	for i := range p.shards {
@@ -160,24 +189,98 @@ func StartProxy(addr string, cfg ProxyConfig) (*Proxy, error) {
 func (p *Proxy) Addr() string { return p.ln.Addr().String() }
 
 // Close stops accepting sessions, tears down the active ones, and waits for
-// their goroutines to exit.
+// their goroutines to exit. After a Drain it only waits (the listener and
+// sessions are already gone), so `defer proxy.Close()` composes with an
+// explicit drain.
 func (p *Proxy) Close() error {
 	p.closed.Store(true)
 	err := p.ln.Close()
-	for _, sh := range p.shards {
-		sh.mu.Lock()
-		conns := make([]net.Conn, 0, len(sh.active))
-		for s := range sh.active {
-			conns = append(conns, s.conn)
-		}
-		sh.mu.Unlock()
-		for _, c := range conns {
-			c.Close()
-		}
+	if errors.Is(err, net.ErrClosed) {
+		err = nil
+	}
+	for _, s := range p.activeSessions() {
+		s.conn.Close()
 	}
 	p.wg.Wait()
 	p.fetch.Client.CloseIdleConnections()
 	return err
+}
+
+// drainPoll is the Drain busy-wait granularity, and drainFlushFloor the
+// minimum window a straggler gets to read its TDrain notice off the wire even
+// when the drain deadline has already passed.
+const (
+	drainPoll       = 2 * time.Millisecond
+	drainFlushFloor = 100 * time.Millisecond
+)
+
+// Drain retires the proxy gracefully: it stops admitting sessions, gives the
+// live ones until the deadline to finish delivering their pages, then hands
+// every remaining session a TDrain notice — carrying the pending work as a
+// resume manifest — and closes the connections once the notices are flushed.
+// Clients reconnect to a restarted proxy with that manifest or fall back to
+// their direct-origin path, so a drain loses no objects. Drain returns once
+// every session goroutine has exited; a later Close is a cheap no-op.
+func (p *Proxy) Drain(timeout time.Duration) error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	if errors.Is(err, net.ErrClosed) {
+		err = nil
+	}
+	deadline := time.Now().Add(timeout)
+	for p.busySessions() > 0 && time.Now().Before(deadline) {
+		time.Sleep(drainPoll)
+	}
+	for _, s := range p.activeSessions() {
+		s.drainNotice()
+	}
+	// The notice rides each session's send queue; clients hang up when they
+	// read it, which is what empties the registry. Stragglers that never do
+	// (dead readers, jammed links) are cut off after the flush window.
+	flush := time.Until(deadline)
+	if flush < drainFlushFloor {
+		flush = drainFlushFloor
+	}
+	flushDeadline := time.Now().Add(flush)
+	for p.Sessions() > 0 && time.Now().Before(flushDeadline) {
+		time.Sleep(drainPoll)
+	}
+	for _, s := range p.activeSessions() {
+		s.conn.Close()
+	}
+	p.wg.Wait()
+	p.fetch.Client.CloseIdleConnections()
+	return err
+}
+
+// DrainedSessions returns how many sessions were handed a TDrain notice.
+func (p *Proxy) DrainedSessions() int64 { return p.drained.Load() }
+
+// activeSessions snapshots the registered sessions across shards.
+func (p *Proxy) activeSessions() []*session {
+	var out []*session
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for s := range sh.active {
+			out = append(out, s)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// busySessions counts sessions still delivering page content — anything not
+// yet idle in the idleLocked sense.
+func (p *Proxy) busySessions() int {
+	n := 0
+	for _, s := range p.activeSessions() {
+		s.mu.Lock()
+		if !s.idleLocked() {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Sessions returns the number of currently active sessions across shards.
@@ -318,15 +421,17 @@ type session struct {
 	completeSent bool
 	closed       bool
 
-	pushed       int
-	pushedBytes  int64
-	skipped      int
-	deferredSeen int
-	shedSeen     int
-	cacheHits    int
-	cacheMisses  int
-	originBytes  int64
-	sharedBodies bool
+	pushed        int
+	pushedBytes   int64
+	skipped       int
+	deferredSeen  int
+	shedSeen      int
+	cacheHits     int
+	cacheMisses   int
+	originRetries int
+	staleServes   int
+	originBytes   int64
+	sharedBodies  bool
 }
 
 func (p *Proxy) serve(conn net.Conn) {
@@ -413,6 +518,37 @@ func (s *session) handleFrame(typ byte, payload []byte) bool {
 		p.cfg.Logf("unexpected frame type %d", typ)
 	}
 	return true
+}
+
+// idleLocked reports whether the session has nothing left to deliver: its
+// page completed and every queued frame, parked deferral, and mux stream has
+// drained. An idle session is only still registered because the client keeps
+// the connection open.
+func (s *session) idleLocked() bool {
+	return s.completeSent && len(s.sendq) == 0 && len(s.parked) == 0 &&
+		!s.completeQueued && (s.mux == nil || s.mux.live == 0)
+}
+
+// drainNotice queues the session's TDrain frame. The pending manifest is
+// whatever the proxy scheduled but will no longer deliver — parked deferrals
+// plus mux streams with unsent bytes — so the client knows exactly what to
+// recover elsewhere. Already-closed sessions are skipped.
+func (s *session) drainNotice() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	var note DrainNote
+	for _, it := range s.parked {
+		note.Pending = append(note.Pending, it.URL)
+	}
+	if s.mux != nil {
+		note.Pending = append(note.Pending, s.mux.pendingURLs()...)
+	}
+	sort.Strings(note.Pending)
+	s.proxy.drained.Add(1)
+	s.enqueueJSONLocked(TDrain, note)
 }
 
 // teardown releases everything a session holds: the connection, the pending
@@ -581,6 +717,9 @@ func (s *session) startPage(req PageRequest) {
 // otherwise.
 func (s *session) fetchURL(url string) ([]byte, string, int, error) {
 	p := s.proxy
+	if p.res != nil {
+		return s.fetchResilient(url)
+	}
 	if p.cache == nil {
 		body, ct, status, err := p.fetch.Fetch(url)
 		if err == nil {
@@ -699,6 +838,8 @@ func (s *session) declareComplete() {
 		ObjectsShed:     s.shedSeen,
 		CacheHits:       s.cacheHits,
 		CacheMisses:     s.cacheMisses,
+		OriginRetries:   s.originRetries,
+		StaleServes:     s.staleServes,
 		OriginBytes:     s.originBytes,
 	}
 	if s.mux != nil {

@@ -1,0 +1,171 @@
+package parcelnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/parcel-go/parcel/internal/httpsim"
+	"github.com/parcel-go/parcel/internal/objcache"
+	"github.com/parcel-go/parcel/internal/resilience"
+)
+
+// resilientFetcher wraps the proxy's shared OriginFetcher in the
+// internal/resilience discipline: a per-attempt deadline (so a stalled origin
+// occupies a connection for Policy.Timeout, not the transport's 30 s
+// backstop), a jittered-backoff retry budget, and a per-origin circuit
+// breaker so one sick domain fails fast instead of stacking every session's
+// retries onto it.
+type resilientFetcher struct {
+	fetch   *OriginFetcher
+	policy  resilience.Policy
+	group   *resilience.Group
+	started time.Time
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	retries atomic.Int64
+}
+
+func newResilientFetcher(fetch *OriginFetcher, policy resilience.Policy) *resilientFetcher {
+	policy = policy.WithDefaults()
+	return &resilientFetcher{
+		fetch:   fetch,
+		policy:  policy,
+		group:   resilience.NewGroup(policy),
+		started: time.Now(),
+		rng:     rand.New(rand.NewSource(1)),
+	}
+}
+
+// now is the fetcher's monotonic clock for breaker bookkeeping.
+func (r *resilientFetcher) now() time.Duration { return time.Since(r.started) }
+
+// backoff draws the jittered delay before retry number attempt.
+func (r *resilientFetcher) backoff(attempt int) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.policy.Backoff(attempt, r.rng)
+}
+
+// do fetches url with deadlines, retries, and the breaker. A response with
+// status < 500 (404s included — the origin answered) is success. Terminal
+// failures — transport errors, 5xx past the retry budget, or a fast-fail on
+// an open breaker — return an error, which is what lets the cache layer above
+// serve stale. onRetry (may be nil) is invoked once per re-attempt so the
+// driving session can be charged for them.
+func (r *resilientFetcher) do(url string, onRetry func()) (body []byte, ct string, status int, validator string, err error) {
+	domain, _ := httpsim.SplitURL(url)
+	br := r.group.For(domain)
+	if !br.Allow(r.now()) {
+		return nil, "", 0, "", fmt.Errorf("fetch %s: %w", url, resilience.ErrOpen)
+	}
+	attempts := r.policy.MaxRetries + 1
+	for attempt := 1; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), r.policy.Timeout)
+		body, ct, status, validator, err = r.fetch.FetchValidatedCtx(ctx, url)
+		cancel()
+		if err == nil && status < 500 {
+			br.Success(r.now())
+			return body, ct, status, validator, nil
+		}
+		br.Failure(r.now())
+		if attempt >= attempts {
+			break
+		}
+		if onRetry != nil {
+			onRetry()
+		}
+		r.retries.Add(1)
+		time.Sleep(r.backoff(attempt))
+		// Between attempts the breaker may have opened (our own failures, or a
+		// fleet of sessions failing on the same origin): respect it instead of
+		// hammering a declared-sick origin.
+		if !br.Allow(r.now()) {
+			return nil, "", 0, "", fmt.Errorf("fetch %s: %w", url, resilience.ErrOpen)
+		}
+	}
+	if err == nil {
+		err = fmt.Errorf("fetch %s: origin status %d after %d attempts", url, status, attempts)
+	}
+	return nil, "", 0, "", err
+}
+
+// ResilienceStats aggregates the resilient fetch path's counters.
+type ResilienceStats struct {
+	// Retries is how many re-attempts the fetch path issued.
+	Retries int64
+	// BreakerOpens is how many times a per-origin breaker opened.
+	BreakerOpens int64
+	// BreakerFastFails is how many requests failed fast on an open breaker.
+	BreakerFastFails int64
+}
+
+// ResilienceStats returns the proxy's resilient-fetch counters (zero when the
+// resilient path is not configured).
+func (p *Proxy) ResilienceStats() ResilienceStats {
+	if p.res == nil {
+		return ResilienceStats{}
+	}
+	return ResilienceStats{
+		Retries:          p.res.retries.Load(),
+		BreakerOpens:     p.res.group.Opens(),
+		BreakerFastFails: p.res.group.FastFails(),
+	}
+}
+
+// fetchResilient is fetchURL on the resilient path: breaker + retries +
+// deadlines around the origin, and — with the shared cache enabled —
+// serve-stale-on-error and negative caching behind them. Failures still
+// return an error; the crawler converts it into a 502 object so the session
+// completes (degraded, not dead).
+func (s *session) fetchResilient(url string) ([]byte, string, int, error) {
+	p := s.proxy
+	onRetry := func() {
+		s.mu.Lock()
+		s.originRetries++
+		s.mu.Unlock()
+	}
+	if p.cache == nil {
+		body, ct, status, _, err := p.res.do(url, onRetry)
+		if err == nil {
+			s.mu.Lock()
+			s.originBytes += int64(len(body))
+			s.mu.Unlock()
+		}
+		return body, ct, status, err
+	}
+	obj, outcome, err := p.cache.GetOrFetchStale(url, p.res.now(), func() (objcache.Object, error) {
+		body, ct, status, validator, ferr := p.res.do(url, onRetry)
+		if ferr != nil {
+			return objcache.Object{}, ferr
+		}
+		// Only the session whose fetch actually ran pays the origin bytes;
+		// single-flight joiners get the object for free.
+		s.mu.Lock()
+		s.originBytes += int64(len(body))
+		s.mu.Unlock()
+		return objcache.Object{URL: url, ContentType: ct, Status: status, Validator: validator, Body: body}, nil
+	})
+	s.mu.Lock()
+	switch outcome {
+	case objcache.OutcomeHit:
+		s.cacheHits++
+	case objcache.OutcomeStale:
+		// A stale serve costs this session no origin fetch either; count it a
+		// hit for the hit-rate and tag the degradation separately.
+		s.cacheHits++
+		s.staleServes++
+	default:
+		s.cacheMisses++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, "", 0, err
+	}
+	return obj.Body, obj.ContentType, obj.Status, nil
+}

@@ -32,6 +32,8 @@ const (
 	TStreamOpen   // payload: [u32 id][flags][prio][uvarint offset,total][meta]
 	TStreamData   // payload: [u32 id][flags][chunk bytes]
 	TWindowUpdate // payload: [u32 id (0 = connection)][u32 increment]
+
+	TDrain // payload: JSON DrainNote — the proxy is retiring this session
 )
 
 // maxFrame bounds a frame payload (64 MB) against corrupt length prefixes.
@@ -75,6 +77,8 @@ type CompleteNote struct {
 	ObjectsShed     int   `json:"objects_shed,omitempty"`
 	CacheHits       int   `json:"cache_hits,omitempty"`
 	CacheMisses     int   `json:"cache_misses,omitempty"`
+	OriginRetries   int   `json:"origin_retries,omitempty"`
+	StaleServes     int   `json:"stale_serves,omitempty"`
 	OriginBytes     int64 `json:"origin_bytes,omitempty"`
 }
 
@@ -89,6 +93,16 @@ type ShedNote struct {
 // ObjectRequest is the client's missing-object fallback.
 type ObjectRequest struct {
 	URL string `json:"url"`
+}
+
+// DrainNote is the proxy's graceful-shutdown handoff: the session should move
+// off this connection because the proxy is retiring. Pending lists objects the
+// proxy had scheduled but will no longer deliver (parked deferrals and mux
+// streams with unsent bytes); the client folds them into the resume manifest
+// it replays at the next proxy — or fetches them over its direct-origin path —
+// so a drain loses no objects.
+type DrainNote struct {
+	Pending []string `json:"pending,omitempty"`
 }
 
 // WriteFrame writes one framed message: [type][uint32 length][payload].

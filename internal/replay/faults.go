@@ -1,0 +1,161 @@
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// OriginFaults configures fault injection for a real (parcelnet) origin
+// serving a replay archive: errors, stalled responses, truncated bodies, and
+// timed availability flaps. The zero value injects nothing; an inactive
+// config never touches the RNG, so fault-free runs are byte-identical to a
+// build without the injector.
+type OriginFaults struct {
+	// ErrorRate is the probability a request is answered 503 outright.
+	ErrorRate float64
+	// StallRate is the probability the response is held for StallFor before
+	// being served (a slow origin occupying the fetcher's connection).
+	StallRate float64
+	// PartialRate is the probability the body is truncated mid-transfer and
+	// the connection aborted, so the client sees an io error.
+	PartialRate float64
+	// StallFor is how long a stalled response waits (default 2 s).
+	StallFor time.Duration
+	// Flaps are windows (relative to the injector's creation) during which
+	// every request is answered 503 — checked before any probability draw.
+	Flaps []FlapWindow
+	// Seed feeds the injector's private RNG (default 1); same seed + same
+	// request order reproduces the same fault sequence.
+	Seed int64
+}
+
+// FlapWindow is a half-open [Start, End) window of origin unavailability.
+type FlapWindow struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// Active reports whether any fault injection is configured.
+func (f OriginFaults) Active() bool {
+	return f.ErrorRate > 0 || f.StallRate > 0 || f.PartialRate > 0 || len(f.Flaps) > 0
+}
+
+// Validate rejects rates outside [0,1] (individually and summed — one
+// uniform draw is cut into the three faults) and inverted flap windows.
+func (f OriginFaults) Validate() error {
+	for name, r := range map[string]float64{
+		"ErrorRate": f.ErrorRate, "StallRate": f.StallRate, "PartialRate": f.PartialRate,
+	} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("replay: %s %v outside [0,1]", name, r)
+		}
+	}
+	if sum := f.ErrorRate + f.StallRate + f.PartialRate; sum > 1 {
+		return fmt.Errorf("replay: fault rates sum to %v > 1", sum)
+	}
+	if f.StallFor < 0 {
+		return fmt.Errorf("replay: negative StallFor %v", f.StallFor)
+	}
+	for _, w := range f.Flaps {
+		if w.End <= w.Start || w.Start < 0 {
+			return fmt.Errorf("replay: bad flap window [%v, %v)", w.Start, w.End)
+		}
+	}
+	return nil
+}
+
+// Decision is what the injector decided to do to one request.
+type Decision int
+
+const (
+	// FaultNone serves the request normally.
+	FaultNone Decision = iota
+	// FaultError answers 503 without serving the body.
+	FaultError
+	// FaultStall delays the response by StallFor, then serves it.
+	FaultStall
+	// FaultPartial serves a truncated body and aborts the connection.
+	FaultPartial
+)
+
+// FaultStats counts injected faults.
+type FaultStats struct {
+	Errors     int64
+	Stalls     int64
+	Partials   int64
+	FlapErrors int64
+}
+
+// Total sums every injected fault.
+func (s FaultStats) Total() int64 {
+	return s.Errors + s.Stalls + s.Partials + s.FlapErrors
+}
+
+// FaultInjector makes per-request fault decisions for a real origin server.
+// It owns a private seeded RNG behind a mutex (the origin handles requests
+// concurrently); flap windows are evaluated against a caller-supplied elapsed
+// time so the injector itself reads no clock.
+type FaultInjector struct {
+	cfg OriginFaults
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats FaultStats
+}
+
+// NewFaultInjector validates cfg and builds an injector (nil config error on
+// bad rates/windows). StallFor defaults to 2 s, Seed to 1.
+func NewFaultInjector(cfg OriginFaults) (*FaultInjector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.StallFor == 0 {
+		cfg.StallFor = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &FaultInjector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// StallFor returns the configured (defaulted) stall duration.
+func (fi *FaultInjector) StallFor() time.Duration { return fi.cfg.StallFor }
+
+// Decide rolls the dice for one request. elapsed is time since the origin
+// started, used only for flap windows (no draw). Inactive configs return
+// FaultNone without locking or drawing.
+func (fi *FaultInjector) Decide(elapsed time.Duration) Decision {
+	if !fi.cfg.Active() {
+		return FaultNone
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	for _, w := range fi.cfg.Flaps {
+		if elapsed >= w.Start && elapsed < w.End {
+			fi.stats.FlapErrors++
+			return FaultError
+		}
+	}
+	u := fi.rng.Float64()
+	switch {
+	case u < fi.cfg.ErrorRate:
+		fi.stats.Errors++
+		return FaultError
+	case u < fi.cfg.ErrorRate+fi.cfg.StallRate:
+		fi.stats.Stalls++
+		return FaultStall
+	case u < fi.cfg.ErrorRate+fi.cfg.StallRate+fi.cfg.PartialRate:
+		fi.stats.Partials++
+		return FaultPartial
+	}
+	return FaultNone
+}
+
+// Stats returns a snapshot of injected-fault counts.
+func (fi *FaultInjector) Stats() FaultStats {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.stats
+}

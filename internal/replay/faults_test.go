@@ -1,0 +1,86 @@
+package replay
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultInjectorValidates(t *testing.T) {
+	bad := []OriginFaults{
+		{ErrorRate: 1.2},
+		{StallRate: -0.1},
+		{ErrorRate: 0.7, PartialRate: 0.7},
+		{StallFor: -time.Second},
+		{Flaps: []FlapWindow{{Start: time.Second, End: time.Second}}},
+	}
+	for _, cfg := range bad {
+		if _, err := NewFaultInjector(cfg); err == nil {
+			t.Fatalf("bad config %+v accepted", cfg)
+		}
+	}
+	fi, err := NewFaultInjector(OriginFaults{ErrorRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.StallFor() != 2*time.Second {
+		t.Fatalf("StallFor default = %v", fi.StallFor())
+	}
+}
+
+func TestFaultInjectorInactive(t *testing.T) {
+	fi, err := NewFaultInjector(OriginFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if d := fi.Decide(time.Duration(i) * time.Second); d != FaultNone {
+			t.Fatalf("inactive injector decided %v", d)
+		}
+	}
+	if s := fi.Stats(); s.Total() != 0 {
+		t.Fatalf("inactive injector counted faults: %+v", s)
+	}
+}
+
+func TestFaultInjectorMixAndDeterminism(t *testing.T) {
+	run := func() FaultStats {
+		fi, err := NewFaultInjector(OriginFaults{ErrorRate: 0.2, StallRate: 0.2, PartialRate: 0.2, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			fi.Decide(0)
+		}
+		return fi.Stats()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("same seed diverged: %+v vs %+v", s1, s2)
+	}
+	if s1.Errors == 0 || s1.Stalls == 0 || s1.Partials == 0 {
+		t.Fatalf("fault mix missing a class: %+v", s1)
+	}
+	if s1.Total() >= 300 {
+		t.Fatalf("60%% rates faulted every request: %+v", s1)
+	}
+}
+
+func TestFaultInjectorFlapBeatsRates(t *testing.T) {
+	fi, err := NewFaultInjector(OriginFaults{
+		StallRate: 1,
+		Flaps:     []FlapWindow{{Start: time.Second, End: 2 * time.Second}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fi.Decide(1500 * time.Millisecond); d != FaultError {
+		t.Fatalf("inside flap window: %v, want FaultError", d)
+	}
+	if d := fi.Decide(3 * time.Second); d != FaultStall {
+		t.Fatalf("outside flap window: %v, want FaultStall", d)
+	}
+	s := fi.Stats()
+	if s.FlapErrors != 1 || s.Stalls != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -126,6 +126,9 @@ type diskObject struct {
 	ContentType string `json:"content_type"`
 	Status      int    `json:"status,omitempty"`
 	Body        string `json:"body"` // base64
+	// Validator preserves a recorded origin's content validator (ETag).
+	// Omitted for archives whose validator is derived from the body.
+	Validator string `json:"validator,omitempty"`
 }
 
 type diskArchive struct {
@@ -143,7 +146,8 @@ func (a *Archive) Save(path string) error {
 		o := a.objects[u]
 		disk.Objects = append(disk.Objects, diskObject{
 			URL: o.URL, ContentType: o.ContentType, Status: o.Status,
-			Body: base64.StdEncoding.EncodeToString(o.Body),
+			Body:      base64.StdEncoding.EncodeToString(o.Body),
+			Validator: o.Validator,
 		})
 	}
 	a.mu.RUnlock()
@@ -185,7 +189,7 @@ func Load(path string) (*Archive, error) {
 		if !strings.HasPrefix(d.URL, "http://") {
 			return nil, fmt.Errorf("replay: non-absolute URL %q in archive", d.URL)
 		}
-		a.Record(httpsim.Object{URL: d.URL, ContentType: d.ContentType, Status: d.Status, Body: body})
+		a.Record(httpsim.Object{URL: d.URL, ContentType: d.ContentType, Status: d.Status, Body: body, Validator: d.Validator})
 	}
 	return a, nil
 }

@@ -1,0 +1,298 @@
+// Package resilience is the shared origin-resilience layer behind both
+// arms' proxy fetch paths: a per-request retry budget with jittered
+// exponential backoff and a per-origin circuit breaker with half-open
+// probing. One sick origin must not occupy a proxy shard or starve the
+// sessions joined on its single-flight fetch — after a handful of
+// consecutive failures the breaker opens and requests fail fast (the cache's
+// serve-stale path takes over), and after a cool-down a single probe decides
+// whether the origin is back.
+//
+// The package is deliberately clock-free: every method takes the caller's
+// notion of "now" (virtual time on the simulation arm, wall-clock offset on
+// the real-TCP arm) and every random draw comes from a caller-owned seeded
+// source. That keeps it in parcel-vet's sim-deterministic table — the fleet
+// simulation threads the virtual clock through it and reproduces
+// bit-identically from a seed.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned (wrapped) by callers when a breaker rejects a request
+// without contacting the origin.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// Policy tunes the resilient fetch path. The zero value of each field takes
+// the default noted on it; apply WithDefaults before use.
+type Policy struct {
+	// Timeout is the per-request deadline the driver enforces on each origin
+	// attempt (default 10 s). The package never sleeps or arms timers itself;
+	// drivers translate Timeout into a context deadline (real arm) or a
+	// scheduled event (simulation arm).
+	Timeout time.Duration
+	// MaxRetries is how many times a failed attempt is re-issued before the
+	// failure is terminal (default 2, so 3 attempts total). Negative disables
+	// retries.
+	MaxRetries int
+	// BackoffBase and BackoffMax bound the jittered exponential delay between
+	// attempts (defaults 50 ms and 2 s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// FailureThreshold is how many consecutive failures open an origin's
+	// breaker (default 4).
+	FailureThreshold int
+	// OpenFor is the open-state cool-down: while it runs every request to the
+	// origin fails fast, after it one half-open probe is admitted (default
+	// 3 s).
+	OpenFor time.Duration
+	// NegTTL is how long the cache negatively remembers a hard failure
+	// (serve-stale without re-contacting the origin); drivers hand it to
+	// objcache (default 1 s).
+	NegTTL time.Duration
+}
+
+// WithDefaults returns p with zero fields replaced by the defaults.
+func (p Policy) WithDefaults() Policy {
+	if p.Timeout == 0 {
+		p.Timeout = 10 * time.Second
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 2
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BackoffBase == 0 {
+		p.BackoffBase = 50 * time.Millisecond
+	}
+	if p.BackoffMax == 0 {
+		p.BackoffMax = 2 * time.Second
+	}
+	if p.FailureThreshold == 0 {
+		p.FailureThreshold = 4
+	}
+	if p.OpenFor == 0 {
+		p.OpenFor = 3 * time.Second
+	}
+	if p.NegTTL == 0 {
+		p.NegTTL = time.Second
+	}
+	return p
+}
+
+// Validate rejects nonsensical configurations.
+func (p Policy) Validate() error {
+	if p.Timeout < 0 || p.BackoffBase < 0 || p.BackoffMax < 0 || p.OpenFor < 0 || p.NegTTL < 0 {
+		return fmt.Errorf("resilience: negative duration in policy %+v", p)
+	}
+	if p.FailureThreshold < 0 {
+		return fmt.Errorf("resilience: negative FailureThreshold %d", p.FailureThreshold)
+	}
+	return nil
+}
+
+// Backoff returns the jittered delay before re-issuing attempt number
+// attempt (1 = first retry): exponential in the attempt, capped at
+// BackoffMax, with half the span jittered so a fleet of retriers never
+// synchronizes. rng is caller-owned — the simulation arm passes the
+// simulator's seeded source, so retry timing is part of the reproducible
+// schedule.
+func (p Policy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BackoffBase << uint(attempt-1)
+	if d > p.BackoffMax || d <= 0 {
+		d = p.BackoffMax
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rng.Int63n(half+1))
+}
+
+// State is a breaker's position in its three-state machine.
+type State int
+
+const (
+	// Closed admits every request; consecutive failures are counted.
+	Closed State = iota
+	// Open fails every request fast until the cool-down elapses.
+	Open
+	// HalfOpen admits exactly one probe; its outcome closes or re-opens.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Breaker is one origin's circuit breaker. All methods are safe for
+// concurrent use; time is always the caller's.
+type Breaker struct {
+	mu       sync.Mutex
+	policy   Policy
+	state    State
+	fails    int           // consecutive failures while closed
+	openedAt time.Duration // when the breaker last opened
+	probing  bool          // a half-open probe is in flight
+
+	opens     int64 // closed/half-open -> open transitions
+	fastFails int64 // Allow rejections
+}
+
+// NewBreaker builds a breaker under p (defaults applied).
+func NewBreaker(p Policy) *Breaker {
+	return &Breaker{policy: p.WithDefaults()}
+}
+
+// Allow reports whether a request may proceed at now. An open breaker whose
+// cool-down has elapsed transitions to half-open and admits the caller as
+// the probe; further callers are rejected until the probe settles.
+func (b *Breaker) Allow(now time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if now-b.openedAt < b.policy.OpenFor {
+			b.fastFails++
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			b.fastFails++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful attempt: the breaker closes and the failure
+// streak resets.
+func (b *Breaker) Success(now time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a failed attempt. A closed breaker opens at the failure
+// threshold; a half-open probe failure re-opens immediately.
+func (b *Breaker) Failure(now time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.open(now)
+	case Closed:
+		b.fails++
+		if b.fails >= b.policy.FailureThreshold {
+			b.open(now)
+		}
+	default: // Open: a straggling failure from before the transition
+	}
+}
+
+// open must run with b.mu held.
+func (b *Breaker) open(now time.Duration) {
+	b.state = Open
+	b.openedAt = now
+	b.fails = 0
+	b.probing = false
+	b.opens++
+}
+
+// State returns the breaker's position at now (resolving an elapsed
+// cool-down to HalfOpen without admitting a probe).
+func (b *Breaker) State(now time.Duration) State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && now-b.openedAt >= b.policy.OpenFor {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Opens returns how many times the breaker has opened.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// FastFails returns how many requests Allow rejected without origin contact.
+func (b *Breaker) FastFails() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fastFails
+}
+
+// Group keys breakers by origin (domain), creating them on demand under one
+// policy. Safe for concurrent use.
+type Group struct {
+	mu     sync.Mutex
+	policy Policy
+	m      map[string]*Breaker
+}
+
+// NewGroup builds an empty breaker group under p (defaults applied).
+func NewGroup(p Policy) *Group {
+	return &Group{policy: p.WithDefaults(), m: make(map[string]*Breaker)}
+}
+
+// Policy returns the group's (defaulted) policy.
+func (g *Group) Policy() Policy {
+	return g.policy
+}
+
+// For returns origin's breaker, creating it on first use.
+func (g *Group) For(origin string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.m[origin]
+	if !ok {
+		b = NewBreaker(g.policy)
+		g.m[origin] = b
+	}
+	return b
+}
+
+// Opens sums open transitions across the group's breakers.
+func (g *Group) Opens() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var n int64
+	for _, b := range g.m {
+		n += b.Opens()
+	}
+	return n
+}
+
+// FastFails sums Allow rejections across the group's breakers.
+func (g *Group) FastFails() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var n int64
+	for _, b := range g.m {
+		n += b.FastFails()
+	}
+	return n
+}

@@ -61,6 +61,7 @@ func BuildFleet(pages []webgen.Page, tenants int, p Params) *Fleet {
 
 	rng := sim.Rand()
 	dir := make(httpsim.Directory, len(domains))
+	origins := make([]*httpsim.Server, 0, len(domains))
 	for _, domain := range domains {
 		origin := n.AddHost("origin:"+domain, simnet.HostConfig{DownlinkBps: p.ProxyBps, UplinkBps: p.ProxyBps})
 		originRTT := p.ProxyOriginRTT
@@ -68,7 +69,13 @@ func BuildFleet(pages []webgen.Page, tenants int, p Params) *Fleet {
 			originRTT = time.Duration(10+rng.Intn(110)) * time.Millisecond
 		}
 		n.SetPath(proxy, origin, simnet.PathParams{RTT: originRTT})
-		httpsim.NewServer(sim, origin, store, p.OriginThink)
+		srv := httpsim.NewServer(sim, origin, store, p.OriginThink)
+		if p.OriginFaults.Active() {
+			if err := srv.SetFaults(p.OriginFaults); err != nil {
+				panic("scenario: bad origin faults: " + err.Error())
+			}
+		}
+		origins = append(origins, srv)
 		dir[domain] = origin
 	}
 	dnssim.NewServer(sim, dns, p.DNSServerTime)
@@ -98,6 +105,7 @@ func BuildFleet(pages []webgen.Page, tenants int, p Params) *Fleet {
 		Proxy:         proxy,
 		DNS:           dns,
 		Dir:           dir,
+		Origins:       origins,
 		ProxyResolver: dnssim.NewResolver(proxy, dns),
 		// Page seeds the proxy sessions' map-capacity hints; the first page
 		// is as good a guess as any for a homogeneous fleet.

@@ -54,6 +54,12 @@ type Params struct {
 	// zero value keeps the network fault-free and bit-identical to the
 	// historical topologies.
 	AccessFaults simnet.FaultParams
+
+	// OriginFaults arms fault injection on every origin server: 503s, stalled
+	// responses, truncated bodies, and timed availability flaps. The zero
+	// value injects nothing and consumes no RNG, keeping fault-free runs
+	// bit-identical to the historical topologies.
+	OriginFaults httpsim.OriginFaults
 }
 
 // DefaultParams returns the paper-calibrated defaults.
@@ -94,6 +100,10 @@ type Topology struct {
 	ProxyResolver *dnssim.Resolver
 
 	Page webgen.Page
+
+	// Origins lists the per-domain origin servers in host-creation order, so
+	// fault-injection harnesses can read their OriginFaultStats.
+	Origins []*httpsim.Server
 
 	// ExecCache and JSPools configure the browser engines built on this
 	// topology (see browser.Options). Both are set by BuildWith when the
@@ -209,6 +219,7 @@ func BuildWith(page webgen.Page, p Params, res *Resources) *Topology {
 
 	rng := sim.Rand()
 	dir := make(httpsim.Directory, len(page.Domains))
+	origins := make([]*httpsim.Server, 0, len(page.Domains))
 	store := page.SharedStore()
 	for _, domain := range page.Domains {
 		origin := n.AddHost("origin:"+domain, simnet.HostConfig{DownlinkBps: p.ProxyBps, UplinkBps: p.ProxyBps})
@@ -222,7 +233,13 @@ func BuildWith(page webgen.Page, p Params, res *Resources) *Topology {
 		if p.AccessFaults.Active() {
 			n.SetFaults(client, origin, p.AccessFaults)
 		}
-		httpsim.NewServer(sim, origin, store, p.OriginThink)
+		srv := httpsim.NewServer(sim, origin, store, p.OriginThink)
+		if p.OriginFaults.Active() {
+			if err := srv.SetFaults(p.OriginFaults); err != nil {
+				panic("scenario: bad origin faults: " + err.Error())
+			}
+		}
+		origins = append(origins, srv)
 		dir[domain] = origin
 	}
 
@@ -245,6 +262,7 @@ func BuildWith(page webgen.Page, p Params, res *Resources) *Topology {
 		DNS:            dns,
 		ClientTrace:    clientTrace,
 		Dir:            dir,
+		Origins:        origins,
 		ClientResolver: dnssim.NewResolver(client, dns),
 		ProxyResolver:  dnssim.NewResolver(proxy, dns),
 		Page:           page,
