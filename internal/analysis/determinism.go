@@ -36,7 +36,12 @@ var seededRandFuncs = map[string]bool{
 }
 
 func runDeterminism(pass *analysis.Pass) (any, error) {
-	al := collectAllows(pass, "determinism")
+	return runDeterminismImpl(pass, collectAllows(pass, "determinism"))
+}
+
+// runDeterminismImpl is the directive-injectable body: staleallow shadow-runs
+// it with a shared, usage-tracked allow set.
+func runDeterminismImpl(pass *analysis.Pass, al *allows) (any, error) {
 	path := pass.Pkg.Path()
 	sim := pkgMatch(simDeterministic, path)
 	if sim && pkgMatch(realClockAllowlist, path) {

@@ -29,7 +29,12 @@ var scheduleFuncs = map[string]bool{
 }
 
 func runNoClosure(pass *analysis.Pass) (any, error) {
-	al := collectAllows(pass, "noclosure")
+	return runNoClosureImpl(pass, collectAllows(pass, "noclosure"))
+}
+
+// runNoClosureImpl is the directive-injectable body: staleallow shadow-runs
+// it with a shared, usage-tracked allow set.
+func runNoClosureImpl(pass *analysis.Pass, al *allows) (any, error) {
 	if !pkgMatch(hotPackages, pass.Pkg.Path()) {
 		return nil, nil
 	}

@@ -2,10 +2,11 @@
 // repository's runtime-checked invariants into static, whole-tree guarantees.
 //
 // The reproduction's headline claims — bit-identical golden figures,
-// exactly-once pooled-packet delivery, and zero-alloc hot paths — were
-// previously enforced only when a test happened to execute the offending
-// path (-tags simdebug panics, the golden suite, the benchhotpath budget).
-// The four analyzers here catch every violation at `go vet` time instead:
+// exactly-once pooled-packet delivery, zero-alloc hot paths, and bounded
+// per-session resources — were previously enforced only when a test happened
+// to execute the offending path (-tags simdebug panics, the golden suite,
+// the benchhotpath budget). The eight analyzers here catch every violation
+// at `go vet` time instead:
 //
 //   - determinism: sim-deterministic packages must not read wall clocks or
 //     the global RNG, and must not let map iteration order reach output.
@@ -16,7 +17,17 @@
 //   - noclosure: hot packages must schedule continuations with
 //     ScheduleArgAt + typed fields, never with capturing closures.
 //   - wireerr: parcelnet/netem must never silently discard errors from
-//     framed-wire writes or connection deadline setters.
+//     framed-wire writes, session enqueue wrappers, or deadline setters.
+//   - pairing: functions annotated //parcelvet:acquire name must release
+//     (or transfer) the resource on every path; flags leaks on early error
+//     returns in the proxy admit/shed and mux sender paths.
+//   - lockorder: builds the static lock graph over the proxy/objcache/hpack
+//     mutexes and reports ordering cycles, double-acquisition, and
+//     blocking calls made with a spinlock-class mutex held.
+//   - framestate: wire frame emissions must come from functions registered
+//     in the declared protocol state machine, in legal phase order.
+//   - staleallow: //parcelvet:allow directives that no longer suppress any
+//     finding are themselves findings, so the reviewed allow set can't rot.
 //
 // Escapes are explicit and audited: a `//parcelvet:allow name(reason)`
 // comment on (or immediately above) the offending line suppresses one
@@ -38,7 +49,7 @@ import (
 
 // Analyzers returns the full parcel-vet suite in a stable order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Determinism, PoolDiscipline, NoClosure, WireErr}
+	return []*analysis.Analyzer{Determinism, PoolDiscipline, NoClosure, WireErr, Pairing, LockOrder, FrameState, StaleAllow}
 }
 
 // simDeterministic lists the packages whose behaviour must be a pure
@@ -181,18 +192,23 @@ const allowPrefix = "//parcelvet:allow"
 
 var allowRe = regexp.MustCompile(`^//parcelvet:allow\s+([a-z]+)\s*(?:\((.*)\))?\s*$`)
 
-// directive is one parsed //parcelvet:allow comment.
+// directive is one parsed //parcelvet:allow comment. used is set by
+// suppressed() when the directive actually swallows a finding; staleallow
+// shadow-runs the suite and reports well-formed directives that end a full
+// pass with used still false.
 type directive struct {
 	analyzer string
 	reason   string
 	pos      token.Pos
+	used     bool
 }
 
 // allows indexes the pass's allow directives by file:line for suppression
-// lookups.
+// lookups and keeps the flat list for staleness auditing.
 type allows struct {
 	fset   *token.FileSet
-	byLine map[string][]directive
+	byLine map[string][]*directive
+	all    []*directive
 }
 
 func lineKey(p token.Position) string {
@@ -203,7 +219,7 @@ func lineKey(p token.Position) string {
 // reports — on behalf of the named analyzer — directives that name it but
 // carry no reason. Escapes must say why, or they are findings themselves.
 func collectAllows(pass *analysis.Pass, name string) *allows {
-	a := &allows{fset: pass.Fset, byLine: map[string][]directive{}}
+	a := &allows{fset: pass.Fset, byLine: map[string][]*directive{}}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -225,9 +241,10 @@ func collectAllows(pass *analysis.Pass, name string) *allows {
 					}
 					continue
 				}
-				d := directive{analyzer: m[1], reason: strings.TrimSpace(m[2]), pos: c.Pos()}
+				d := &directive{analyzer: m[1], reason: strings.TrimSpace(m[2]), pos: c.Pos()}
 				key := lineKey(pass.Fset.Position(c.Pos()))
 				a.byLine[key] = append(a.byLine[key], d)
+				a.all = append(a.all, d)
 			}
 		}
 	}
@@ -236,20 +253,23 @@ func collectAllows(pass *analysis.Pass, name string) *allows {
 
 func knownAnalyzer(name string) bool {
 	switch name {
-	case "determinism", "pooldiscipline", "noclosure", "wireerr":
+	case "determinism", "pooldiscipline", "noclosure", "wireerr",
+		"pairing", "lockorder", "framestate", "staleallow":
 		return true
 	}
 	return false
 }
 
 // suppressed reports whether a finding by analyzer name at pos is covered by
-// an allow directive on the same line or the line directly above.
+// an allow directive on the same line or the line directly above, marking
+// the covering directive used for the staleness audit.
 func (a *allows) suppressed(name string, pos token.Pos) bool {
 	p := a.fset.Position(pos)
 	for _, line := range []int{p.Line, p.Line - 1} {
 		key := fmt.Sprintf("%s:%d", p.Filename, line)
 		for _, d := range a.byLine[key] {
 			if d.analyzer == name {
+				d.used = true
 				return true
 			}
 		}

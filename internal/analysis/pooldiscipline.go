@@ -45,7 +45,12 @@ var freeFuncRe = regexp.MustCompile(`^(free|release|put)([A-Z]|$)`)
 var poolImplRe = regexp.MustCompile(`^(new|get|alloc|free|release|put)([A-Z]|$)`)
 
 func runPoolDiscipline(pass *analysis.Pass) (any, error) {
-	al := collectAllows(pass, "pooldiscipline")
+	return runPoolDisciplineImpl(pass, collectAllows(pass, "pooldiscipline"))
+}
+
+// runPoolDisciplineImpl is the directive-injectable body: staleallow
+// shadow-runs it with a shared, usage-tracked allow set.
+func runPoolDisciplineImpl(pass *analysis.Pass, al *allows) (any, error) {
 	marked := markedPooledTypes(pass)
 	pooled := func(t types.Type) bool { return t != nil && isPooled(t, marked) }
 

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+)
+
+// StaleAllow audits the escape hatch itself. Every //parcelvet:allow
+// directive was reviewed against a finding that existed when it was written;
+// when the code under it changes, the directive can outlive the finding and
+// silently blanket future, different violations on the same line. StaleAllow
+// shadow-runs the other seven analyzers over the package with a shared,
+// usage-tracked allow set and diagnostics swallowed; any well-formed
+// directive that ends the pass without having suppressed a single finding
+// is reported for deletion.
+var StaleAllow = &analysis.Analyzer{
+	Name: "staleallow",
+	Doc:  "flag //parcelvet:allow directives that no longer suppress any finding",
+	Run:  runStaleAllow,
+}
+
+// staleSiblings are the shadow-run bodies, paired with the analyzer whose
+// name drives suppression matching. StaleAllow itself is excluded: its own
+// findings are suppressible but not themselves audited for staleness.
+var staleSiblings = []struct {
+	analyzer *analysis.Analyzer
+	impl     func(*analysis.Pass, *allows) (any, error)
+}{
+	{Determinism, runDeterminismImpl},
+	{PoolDiscipline, runPoolDisciplineImpl},
+	{NoClosure, runNoClosureImpl},
+	{WireErr, runWireErrImpl},
+	{Pairing, runPairingImpl},
+	{LockOrder, runLockOrderImpl},
+	{FrameState, runFrameStateImpl},
+}
+
+func runStaleAllow(pass *analysis.Pass) (any, error) {
+	al := collectAllows(pass, "staleallow")
+	if len(al.all) == 0 {
+		return nil, nil
+	}
+	for _, sib := range staleSiblings {
+		shadow := *pass
+		shadow.Analyzer = sib.analyzer
+		shadow.Report = func(analysis.Diagnostic) {}
+		if _, err := sib.impl(&shadow, al); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range al.all {
+		if d.analyzer == "staleallow" {
+			continue
+		}
+		if !knownAnalyzer(d.analyzer) {
+			// A typo'd analyzer name suppresses nothing, forever.
+			al.report(pass, d.pos,
+				"parcelvet:allow names unknown analyzer %q: it can never suppress a finding",
+				d.analyzer)
+			continue
+		}
+		if !d.used {
+			al.report(pass, d.pos,
+				"stale parcelvet:allow: no %s finding is suppressed here any more — delete the directive",
+				d.analyzer)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,99 @@
+// Package lockorder_clean is the negative space of lockorder_bad: consistent
+// ordering, branch-balanced acquisitions, goroutine-isolated blocking, and an
+// allow-waived bounded sleep.
+package lockorder_clean
+
+import (
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	busy int
+}
+
+type session struct {
+	mu   sync.Mutex
+	seen int
+}
+
+// Both multi-lock functions agree on shard.mu before session.mu: edges exist
+// but no cycle.
+func lockBoth(sh *shard, s *session) {
+	sh.mu.Lock()
+	s.mu.Lock()
+	s.seen++
+	s.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+func lockBothElsewhere(sh *shard, s *session) {
+	sh.mu.Lock()
+	s.mu.Lock()
+	sh.busy++
+	s.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// branchBalanced acquires once in each exclusive arm — the merge is one
+// acquisition, not a self-deadlock. This pins the client.go completion-note
+// false positive the branch-aware walker fixed.
+func branchBalanced(s *session, ok bool) {
+	if ok {
+		s.mu.Lock()
+		s.seen++
+	} else {
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+// earlyReturn releases on the terminated arm; the fallthrough still holds it
+// exactly once.
+func earlyReturn(s *session, ok bool) {
+	s.mu.Lock()
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.seen++
+	s.mu.Unlock()
+}
+
+// selectArms acquires independently per arm; arms are balanced.
+func selectArms(s *session, ch chan int) {
+	select {
+	case v := <-ch:
+		s.mu.Lock()
+		s.seen += v
+		s.mu.Unlock()
+	default:
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}
+
+// sleepAfterUnlock blocks only once the lock is released.
+func sleepAfterUnlock(s *session) {
+	s.mu.Lock()
+	s.seen++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// goStmtNotInherited: the spawned goroutine blocks on its own stack, not
+// under the caller's lock.
+func goStmtNotInherited(s *session, ch chan int) {
+	s.mu.Lock()
+	go func() { ch <- s.seen }()
+	s.mu.Unlock()
+}
+
+// allowedSleep waives a deliberate bounded stall with a reasoned directive.
+func allowedSleep(s *session) {
+	s.mu.Lock()
+	//parcelvet:allow lockorder(fixture: bounded microsecond backoff by design)
+	time.Sleep(time.Microsecond)
+	s.mu.Unlock()
+}

@@ -1,0 +1,92 @@
+// Package pairing_bad exercises the pairing analyzer: annotated resources
+// acquired on some control-flow path and never released or transferred.
+package pairing_bad
+
+//parcelvet:acquire buf
+func grab(n int) []byte { return make([]byte, n) }
+
+//parcelvet:release buf
+func release(b []byte) { _ = b }
+
+//parcelvet:transfer buf
+func enqueue(b []byte) { _ = b }
+
+//parcelvet:acquire budget
+func reserve(n int) bool { return n < 10 }
+
+//parcelvet:release budget
+func unreserve(n int) { _ = n }
+
+//parcelvet:acquire handle
+func open(name string) (int, error) {
+	if name == "" {
+		return 0, errEmpty
+	}
+	return 1, nil
+}
+
+//parcelvet:release handle
+func closeHandle(h int) { _ = h }
+
+var errEmpty error
+
+func use(int) {}
+
+// leakOnEarlyReturn releases on the long path but leaks on the early return —
+// the shape of the pre-fix proxy error paths.
+func leakOnEarlyReturn(n int) {
+	b := grab(n)
+	if n > 4 {
+		return // want "acquired resource .buf. escapes leakOnEarlyReturn without release or transfer on this path"
+	}
+	release(b)
+}
+
+// leakAlways never hands the buffer back and is not annotated as a source.
+func leakAlways(n int) []byte {
+	b := grab(n)
+	return b // want "acquired resource .buf. escapes leakAlways without release or transfer on this path"
+}
+
+// leakOnTrueBranch holds budget only when reserve returns true, then forgets
+// it on exactly that branch.
+func leakOnTrueBranch(n int) {
+	if reserve(n) {
+		return // want "acquired resource .budget. escapes leakOnTrueBranch without release or transfer on this path"
+	}
+}
+
+// leakNegated flips the condition: !reserve means the false branch holds.
+func leakNegated(n int) {
+	if !reserve(n) {
+		return
+	}
+	use(n)
+} // want "acquired resource .budget. escapes leakNegated without release or transfer on this path"
+
+// leakHandleOnSuccess frees nothing after a nil-error acquire; the err != nil
+// arm is correctly exempt.
+func leakHandleOnSuccess(name string) error {
+	h, err := open(name)
+	if err != nil {
+		return err
+	}
+	use(h)
+	return nil // want "acquired resource .handle. escapes leakHandleOnSuccess without release or transfer on this path"
+}
+
+// leakDiscarded drops a conditional acquire's result on the floor: without
+// the governing bool the acquire counts unconditionally.
+func leakDiscarded(n int) {
+	reserve(n)
+} // want "acquired resource .budget. escapes leakDiscarded without release or transfer on this path"
+
+// leakOneOfTwo releases buf but leaks budget on the same exit.
+func leakOneOfTwo(n int) {
+	b := grab(n)
+	if !reserve(n) {
+		release(b)
+		return
+	}
+	release(b)
+} // want "acquired resource .budget. escapes leakOneOfTwo without release or transfer on this path"

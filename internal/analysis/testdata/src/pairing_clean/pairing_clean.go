@@ -1,0 +1,109 @@
+// Package pairing_clean is the negative space of pairing_bad: every acquire
+// is balanced by a release, a transfer, a deferred release, or an exemption,
+// and the one deliberate leak carries an allow directive.
+package pairing_clean
+
+//parcelvet:acquire buf
+func grab(n int) []byte { return make([]byte, n) }
+
+//parcelvet:release buf
+func release(b []byte) { _ = b }
+
+//parcelvet:transfer buf
+func enqueue(b []byte) { _ = b }
+
+//parcelvet:acquire budget
+func reserve(n int) bool { return n < 10 }
+
+//parcelvet:release budget
+func unreserve(n int) { _ = n }
+
+//parcelvet:acquire handle
+func open(name string) (int, error) {
+	if name == "" {
+		return 0, errEmpty
+	}
+	return 1, nil
+}
+
+//parcelvet:release handle
+func closeHandle(h int) { _ = h }
+
+var errEmpty error
+
+func use(int) {}
+
+// releasedOnAllPaths balances both exits: release on one, transfer on the
+// other.
+func releasedOnAllPaths(n int) {
+	b := grab(n)
+	if n > 4 {
+		release(b)
+		return
+	}
+	enqueue(b)
+}
+
+// deferredRelease covers every exit with one defer.
+func deferredRelease(n int) int {
+	b := grab(n)
+	defer release(b)
+	if n > 4 {
+		return 1
+	}
+	return 0
+}
+
+// grabTwice is itself an acquire source: holding buf at return is its
+// callers' obligation, not a leak.
+//
+//parcelvet:acquire buf
+func grabTwice(n int) []byte {
+	return append(grab(n), grab(n)...)
+}
+
+// handoff is a transfer point: it may exit holding buf because ownership
+// moved to whoever drains it.
+//
+//parcelvet:transfer buf
+func handoff(n int) []byte {
+	return grab(n)
+}
+
+// reserveChecked only proceeds — and only releases — when the reservation
+// took.
+func reserveChecked(n int) {
+	if !reserve(n) {
+		return
+	}
+	use(n)
+	unreserve(n)
+}
+
+// reserveVar branches on the stored bool result instead of the call.
+func reserveVar(n int) {
+	ok := reserve(n)
+	if !ok {
+		return
+	}
+	unreserve(n)
+}
+
+// handleChecked closes the handle only on the nil-error path that holds it.
+func handleChecked(name string) error {
+	h, err := open(name)
+	if err != nil {
+		return err
+	}
+	use(h)
+	closeHandle(h)
+	return nil
+}
+
+// allowedLeak pins allow-directive parsing: the leak is real but waived with
+// a reasoned directive on the report line.
+func allowedLeak(n int) []byte {
+	b := grab(n)
+	//parcelvet:allow pairing(fixture: ownership documented out of band)
+	return b
+}

@@ -1,0 +1,36 @@
+// Package staleallow_bad carries allow directives in three states: one that
+// still suppresses a pairing finding (kept silently), one whose finding was
+// fixed long ago (stale, reported), and one naming an analyzer that does not
+// exist (reported). The expectations live in TestStaleAllow rather than
+// `// want` trailers: a well-formed directive comment cannot also carry a
+// trailer without breaking the directive grammar.
+package staleallow_bad
+
+//parcelvet:acquire buf
+func grab(n int) []byte { return make([]byte, n) }
+
+//parcelvet:release buf
+func release(b []byte) { _ = b }
+
+// waivedLeak really leaks: its directive is load-bearing and must survive the
+// audit untouched.
+func waivedLeak(n int) []byte {
+	b := grab(n)
+	//parcelvet:allow pairing(fixture: ownership handed to the caller out of band)
+	return b
+}
+
+// balanced was fixed after its directive was written: the directive now
+// suppresses nothing and must be reported stale.
+func balanced(n int) {
+	b := grab(n)
+	//parcelvet:allow pairing(fixture: historical leak, fixed long ago)
+	release(b)
+}
+
+// typo names an analyzer that does not exist; it can never suppress anything
+// and must be reported.
+func typo(n int) int {
+	//parcelvet:allow pairng(fixture: typo in the analyzer name)
+	return n
+}

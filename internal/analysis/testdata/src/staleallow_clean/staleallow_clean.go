@@ -1,0 +1,25 @@
+// Package staleallow_clean is the negative space of staleallow_bad: a
+// directive that still earns its keep, and a stale directive explicitly
+// retained through the staleallow layer's own escape hatch.
+package staleallow_clean
+
+//parcelvet:acquire buf
+func grab(n int) []byte { return make([]byte, n) }
+
+//parcelvet:release buf
+func release(b []byte) { _ = b }
+
+// waivedLeak really leaks: the directive suppresses a live pairing finding.
+func waivedLeak(n int) []byte {
+	b := grab(n)
+	//parcelvet:allow pairing(fixture: ownership handed to the caller out of band)
+	return b
+}
+
+// keptStale is stale but waived at the staleallow layer while the fix bakes.
+func keptStale(n int) {
+	b := grab(n)
+	//parcelvet:allow staleallow(fixture: directive retained while the fix soaks in CI)
+	//parcelvet:allow pairing(fixture: historical leak, fixed recently)
+	release(b)
+}

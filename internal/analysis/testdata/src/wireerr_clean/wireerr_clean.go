@@ -20,6 +20,19 @@ type metrics struct{}
 // Write here is not the framed-wire writer; its result may be discarded.
 func (m *metrics) Write(p []byte) (int, error) { return len(p), nil }
 
+type session struct{}
+
+func (s *session) enqueueJSONLocked(typ byte, v any) error { return nil }
+
+// goodControlNotes handles the staging error by tearing the session down.
+func goodControlNotes(s *session, logf func(string, ...any)) error {
+	if err := s.enqueueJSONLocked(9, nil); err != nil {
+		logf("control note: %v", err)
+		return err
+	}
+	return nil
+}
+
 func good(c *conn, w *FrameWriter, m *metrics, logf func(string, ...any)) error {
 	if err := c.SetReadDeadline(time.Time{}); err != nil {
 		logf("deadline: %v", err)

@@ -17,6 +17,12 @@ func (w *FrameWriter) Write(p []byte) (int, error)                  { return len
 func (w *FrameWriter) WriteRaw(frame []byte) error                  { return nil }
 func (w *FrameWriter) WriteWindowUpdate(id, increment uint32) error { return nil }
 
+type session struct{}
+
+// enqueueJSONLocked mirrors the proxy's control-note staging point: its
+// error means the note never reached the send queue.
+func (s *session) enqueueJSONLocked(typ byte, v any) error { return nil }
+
 func bad(c *conn, w *FrameWriter) {
 	c.SetReadDeadline(time.Time{})      // want "error from SetReadDeadline discarded"
 	w.WriteFrame(1, nil)                // want "error from WriteFrame discarded"
@@ -27,6 +33,12 @@ func bad(c *conn, w *FrameWriter) {
 	w.WriteRaw(nil)                     // want "error from WriteRaw discarded"
 	go w.WriteWindowUpdate(1, 64)       // want "error from WriteWindowUpdate discarded by go statement"
 	_ = w.WriteWindowUpdate(0, 1)       // want "error from WriteWindowUpdate assigned to blank identifier"
+}
+
+func badControlNotes(s *session) {
+	s.enqueueJSONLocked(9, nil)      // want "error from enqueueJSONLocked discarded"
+	_ = s.enqueueJSONLocked(10, nil) // want "error from enqueueJSONLocked assigned to blank identifier"
+	go s.enqueueJSONLocked(11, nil)  // want "error from enqueueJSONLocked discarded by go statement"
 }
 
 func allowedDiscard(w *FrameWriter) {

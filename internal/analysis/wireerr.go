@@ -15,7 +15,7 @@ import (
 var WireErr = &analysis.Analyzer{
 	Name: "wireerr",
 	Doc: "flag discarded error returns from framed-wire writes (WriteFrame/WriteJSON/" +
-		"FrameWriter.Write) and deadline setters in parcelnet/netem",
+		"FrameWriter.Write/enqueueJSONLocked) and deadline setters in parcelnet/netem",
 	Run: runWireErr,
 }
 
@@ -29,16 +29,25 @@ var deadlineFuncs = map[string]bool{
 // wireWriteFuncs are the framed-wire write entry points, including the
 // parcelmux raw-frame and flow-control writers: a dropped WriteRaw strands a
 // stream mid-object and a dropped WriteWindowUpdate deadlocks the sender
-// against an exhausted window.
+// against an exhausted window. enqueueJSONLocked is the session-side staging
+// point for the PR 9 control notes (TDrain/TShed/TComplete): dropping its
+// error silently discards the frame, so the client never learns the session
+// is draining or that an object was shed.
 var wireWriteFuncs = map[string]bool{
 	"WriteFrame":        true,
 	"WriteJSON":         true,
 	"WriteRaw":          true,
 	"WriteWindowUpdate": true,
+	"enqueueJSONLocked": true,
 }
 
 func runWireErr(pass *analysis.Pass) (any, error) {
-	al := collectAllows(pass, "wireerr")
+	return runWireErrImpl(pass, collectAllows(pass, "wireerr"))
+}
+
+// runWireErrImpl is the directive-injectable body: staleallow shadow-runs it
+// with a shared, usage-tracked allow set.
+func runWireErrImpl(pass *analysis.Pass, al *allows) (any, error) {
 	if !pkgMatch(wirePackages, pass.Pkg.Path()) {
 		return nil, nil
 	}

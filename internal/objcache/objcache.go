@@ -17,6 +17,7 @@
 package objcache
 
 import (
+	"errors"
 	"hash/fnv"
 	"strings"
 	"sync"
@@ -85,9 +86,17 @@ type entry struct {
 // flight is one in-progress origin fetch that concurrent callers join.
 type flight struct {
 	done chan struct{}
+	key  string
 	obj  Object
 	err  error
+	// settled is owner-only state: set by settleFlight before done closes so
+	// the panic safety net can tell whether the flight still needs settling.
+	settled bool
 }
+
+// errFetchPanicked is the error joiners observe when the owning caller's
+// fetch function panicked instead of returning.
+var errFetchPanicked = errors.New("objcache: fetch panicked")
 
 type segment struct {
 	mu       sync.Mutex
@@ -244,19 +253,54 @@ func (c *Cache) GetOrFetch(url string, fetch func() (Object, error)) (obj Object
 		<-f.done
 		return f.obj, false, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	s.flights[key] = f
+	f := s.openFlightLocked(key)
 	s.mu.Unlock()
 
+	defer s.settleFlightOnPanic(f)
 	f.obj, f.err = fetch()
-	s.mu.Lock()
-	delete(s.flights, key)
 	if f.err == nil {
+		s.mu.Lock()
 		s.putLocked(key, f.obj)
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
-	close(f.done)
+	s.settleFlight(f)
 	return f.obj, false, f.err
+}
+
+// openFlightLocked registers a single-flight slot for key, with the segment
+// lock held. Every path out of the owning caller must settle the flight —
+// including a panicking fetch — or all future fetches of key join a flight
+// that never lands and block forever.
+//
+//parcelvet:acquire flight
+func (s *segment) openFlightLocked(key string) *flight {
+	f := &flight{done: make(chan struct{}), key: key}
+	s.flights[key] = f
+	return f
+}
+
+// settleFlight publishes the flight's outcome: the slot is removed so new
+// callers start a fresh fetch, then done closes so joiners wake with
+// f.obj/f.err in place. Owner-only; called with the segment unlocked.
+//
+//parcelvet:release flight
+func (s *segment) settleFlight(f *flight) {
+	s.mu.Lock()
+	delete(s.flights, f.key)
+	s.mu.Unlock()
+	f.settled = true
+	close(f.done)
+}
+
+// settleFlightOnPanic is the owner's deferred safety net around fetch: if the
+// fetch panicked, the flight is settled with errFetchPanicked before the
+// panic unwinds, so joiners fail instead of hanging. No-op after a normal
+// settleFlight.
+func (s *segment) settleFlightOnPanic(f *flight) {
+	if !f.settled {
+		f.err = errFetchPanicked
+		s.settleFlight(f)
+	}
 }
 
 // Stats aggregates the segment counters.

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func obj(url, validator string, n int, fill byte) Object {
@@ -239,5 +240,85 @@ func TestDisabledCacheAdmitsNothing(t *testing.T) {
 		return obj("http://d.test/a", "v", 10, 'a'), nil
 	}); hit || err != nil {
 		t.Fatalf("zero-capacity GetOrFetch: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestGetOrFetchPanicSettlesFlight pins the single-flight panic fix: a fetch
+// that panics must still settle its flight (delete the slot and close done),
+// so a later caller of the same key starts a fresh fetch instead of joining a
+// dead flight and blocking forever.
+func TestGetOrFetchPanicSettlesFlight(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20, Segments: 1})
+	const url = "http://d.test/panic"
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("fetch panic did not propagate to the caller")
+			}
+		}()
+		c.GetOrFetch(url, func() (Object, error) { panic("origin exploded") })
+	}()
+
+	done := make(chan struct{})
+	var hit bool
+	var err error
+	go func() {
+		defer close(done)
+		_, hit, err = c.GetOrFetch(url, func() (Object, error) {
+			return obj(url, "v", 8, 'z'), nil
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second GetOrFetch hung: the panicking fetch leaked its flight")
+	}
+	if err != nil || hit {
+		t.Fatalf("second fetch after panic: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestGetOrFetchPanicWakesJoiners: a caller already parked on the flight's
+// done channel when the owner's fetch panics must wake with errFetchPanicked,
+// not hang.
+func TestGetOrFetchPanicWakesJoiners(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20, Segments: 1})
+	const url = "http://d.test/panic-join"
+	inFetch := make(chan struct{})
+	proceed := make(chan struct{})
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		defer func() { recover() }()
+		c.GetOrFetch(url, func() (Object, error) {
+			close(inFetch)
+			<-proceed
+			panic("origin exploded")
+		})
+	}()
+	<-inFetch
+
+	joinErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrFetch(url, func() (Object, error) {
+			t.Error("joiner ran its own fetch; expected to join the open flight")
+			return Object{}, nil
+		})
+		joinErr <- err
+	}()
+	// Shared increments under the segment lock the moment the joiner commits
+	// to the flight; only then may the owner be allowed to panic.
+	for c.Stats().Shared == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(proceed)
+	<-ownerDone
+	select {
+	case err := <-joinErr:
+		if !errors.Is(err, errFetchPanicked) {
+			t.Fatalf("joiner err = %v, want errFetchPanicked", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner never woke: panicking fetch left done unclosed")
 	}
 }

@@ -223,24 +223,24 @@ func (c *Cache) GetOrFetchStale(url string, now time.Duration, fetch func() (Obj
 		}
 		return c.staleOrFail(s, key, f.err)
 	}
-	f := &flight{done: make(chan struct{})}
-	s.flights[key] = f
+	f := s.openFlightLocked(key)
 	s.mu.Unlock()
 
+	defer s.settleFlightOnPanic(f)
 	f.obj, f.err = fetch()
-	s.mu.Lock()
-	delete(s.flights, key)
 	if f.err == nil {
+		s.mu.Lock()
 		s.putAtLocked(key, f.obj, now)
 		s.mu.Unlock()
-		close(f.done)
+		s.settleFlight(f)
 		return f.obj, OutcomeFetched, nil
 	}
+	s.mu.Lock()
 	if s.negTTL > 0 {
 		s.neg[key] = now + s.negTTL
 	}
 	s.mu.Unlock()
-	close(f.done)
+	s.settleFlight(f)
 	return c.staleOrFail(s, key, f.err)
 }
 

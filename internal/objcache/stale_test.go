@@ -303,3 +303,37 @@ func TestStaleLayerKeepsLegacyPathIdentical(t *testing.T) {
 		t.Fatalf("legacy path touched stale counters: %+v", st)
 	}
 }
+
+// TestGetOrFetchStalePanicSettlesFlight is the stale-arm twin of the
+// GetOrFetch panic regression: a panicking revalidation fetch must settle its
+// flight so the key stays fetchable.
+func TestGetOrFetchStalePanicSettlesFlight(t *testing.T) {
+	c := staleCache(10*time.Second, 0)
+	const url = "http://a.com/panic"
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("fetch panic did not propagate to the caller")
+			}
+		}()
+		c.GetOrFetchStale(url, 0, func() (Object, error) { panic("origin exploded") })
+	}()
+
+	done := make(chan struct{})
+	var out Outcome
+	var err error
+	go func() {
+		defer close(done)
+		_, out, err = c.GetOrFetchStale(url, time.Second, func() (Object, error) {
+			return sobj(url, "fresh"), nil
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second GetOrFetchStale hung: the panicking fetch leaked its flight")
+	}
+	if err != nil || out != OutcomeFetched {
+		t.Fatalf("second fetch after panic: outcome=%v err=%v", out, err)
+	}
+}

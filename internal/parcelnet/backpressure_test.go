@@ -315,3 +315,55 @@ func TestSlowTenantDoesNotStallFastTenants(t *testing.T) {
 		}
 	}
 }
+
+// TestDuplicatePageRequestTearsDownSession pins the double-TPageRequest fix:
+// a second page request on one connection must tear the session down instead
+// of replacing s.mux/s.bundler in place — the replaced mux's queued bytes
+// were reserved against the proxy-wide budget and nothing would ever drain
+// them, shrinking the budget for every tenant until restart. After teardown
+// the reservation must return to zero.
+func TestDuplicatePageRequestTearsDownSession(t *testing.T) {
+	defer leakcheck.Check(t)()
+	archive, mainURL := bigArchive(8, 16<<10)
+	origin, err := StartOrigin("127.0.0.1:0", replay.Rewriting{Store: archive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	proxy, err := StartProxy("127.0.0.1:0", ProxyConfig{
+		OriginAddr:  origin.Addr(),
+		Sched:       sched.ConfigIND,
+		QuietPeriod: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	conn, err := net.Dial("tcp", proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fw := NewFrameWriter(conn)
+	req := PageRequest{URL: mainURL, Mux: true}
+	if err := fw.WriteJSON(TPageRequest, &req); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteJSON(TPageRequest, &req); err != nil {
+		t.Fatal(err)
+	}
+	// The proxy must close the connection on the duplicate: drain to EOF.
+	if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, payload, err := ReadFramePooled(conn)
+		if err != nil {
+			break
+		}
+		ReleaseFrameBuf(payload)
+	}
+	// Teardown must hand every queued byte back to the proxy-wide budget.
+	waitFor(t, 5*time.Second, func() bool { return proxy.QueuedBytes() == 0 })
+}

@@ -48,6 +48,8 @@ func bufBucketFor(n int) int {
 }
 
 // grabFrameBuf returns a length-n buffer from the pool (or a fresh one).
+//
+//parcelvet:acquire framebuf
 func grabFrameBuf(n int) []byte {
 	if n == 0 {
 		return nil
@@ -70,6 +72,8 @@ func grabFrameBuf(n int) []byte {
 // ReleaseFrameBuf returns a ReadFramePooled payload to its bucket. Buffers
 // whose capacity is not an exact bucket size (foreign slices) are dropped,
 // so releasing something the pool never produced is harmless.
+//
+//parcelvet:release framebuf
 func ReleaseFrameBuf(buf []byte) {
 	c := cap(buf)
 	if c < 1<<bufMinBits || c > 1<<bufMaxBits || c&(c-1) != 0 {

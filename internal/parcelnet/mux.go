@@ -117,7 +117,12 @@ func (m *muxSender) settingsPayload() []byte {
 // add opens a stream for one object. body is the remaining bytes to push —
 // for a resumed object the caller has already sliced off the first offset
 // bytes. The sender holds body by reference and never mutates it, so
-// shared-cache slices can be passed directly.
+// shared-cache slices can be passed directly. The caller's pushq
+// reservation for those bytes transfers to the stream: the writer releases
+// it chunk by chunk as frames drain, or drain() hands the rest back when
+// the session dies.
+//
+//parcelvet:transfer pushq
 func (m *muxSender) add(url, contentType string, status int, body []byte, offset, total int64) *muxStream {
 	s := &muxStream{
 		id:          m.nextID,
@@ -139,7 +144,10 @@ func (m *muxSender) add(url, contentType string, status int, body []byte, offset
 
 // credit applies a TWindowUpdate: id 0 refills the connection window,
 // anything else the matching stream (unknown ids — already-finished
-// streams — are ignored).
+// streams — are ignored). This is the release side of the muxwin pair:
+// every byte debitWindows claims comes back here as the client acks.
+//
+//parcelvet:release muxwin
 func (m *muxSender) credit(id, inc uint32) {
 	if id == 0 {
 		m.connWindow += int64(inc)
@@ -229,9 +237,7 @@ func (m *muxSender) nextFrame() (frame []byte, drained int, ok bool) {
 		// emission keeps the encoder's prefix insertions aligned with what
 		// the decoder sees.
 		b = m.henc.AppendMeta(b, s.url, s.contentType, s.status)
-		binary.BigEndian.PutUint32(b[1:5], uint32(len(b)-5))
-		m.scratch = b
-		return b, 0, true
+		return m.sealFrame(b), 0, true
 	}
 	n := s.remaining()
 	if n > m.chunk {
@@ -245,8 +251,7 @@ func (m *muxSender) nextFrame() (frame []byte, drained int, ok bool) {
 	}
 	chunk := s.body[s.sent : s.sent+n]
 	s.sent += n
-	s.window -= int64(n)
-	m.connWindow -= int64(n)
+	m.debitWindows(s, n)
 	flags := byte(0)
 	if s.remaining() == 0 {
 		flags |= muxFlagEnd
@@ -257,9 +262,28 @@ func (m *muxSender) nextFrame() (frame []byte, drained int, ok bool) {
 	b = binary.BigEndian.AppendUint32(b, s.id)
 	b = append(b, flags)
 	b = append(b, chunk...)
+	return m.sealFrame(b), n, true
+}
+
+// debitWindows claims n body bytes of s's per-stream window and the shared
+// connection window before they go on the wire — the debit half of the
+// muxwin pair that credit() refills from the client's TWindowUpdate acks.
+//
+//parcelvet:acquire muxwin
+func (m *muxSender) debitWindows(s *muxStream, n int) {
+	s.window -= int64(n)
+	m.connWindow -= int64(n)
+}
+
+// sealFrame patches the frame-length header and retains the scratch buffer
+// for the next assembly. Returning the sealed frame transfers the window
+// claim to the wire: the bytes are the client's to ack back via credit().
+//
+//parcelvet:transfer muxwin
+func (m *muxSender) sealFrame(b []byte) []byte {
 	binary.BigEndian.PutUint32(b[1:5], uint32(len(b)-5))
 	m.scratch = b
-	return b, n, true
+	return b
 }
 
 // finish removes a stream whose last frame was just assembled.

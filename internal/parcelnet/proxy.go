@@ -340,7 +340,11 @@ func (p *Proxy) ShedTotal() int64 { return p.shedTotal.Load() }
 
 // reserve claims n bytes of the proxy-wide push budget, failing when the
 // budget is exhausted (the shed signal). Reservations are released as the
-// writer drains frames.
+// writer drains frames (releaseQueuedLocked) or handed off with the frame
+// that carries them (enqueueLocked, muxSender.add); the pairing analyzer
+// checks every admission path does one or the other.
+//
+//parcelvet:acquire pushq
 func (p *Proxy) reserve(n int64) bool {
 	budget := p.cfg.ProxyPushBudget
 	for {
@@ -493,7 +497,7 @@ func (s *session) handleFrame(typ byte, payload []byte) bool {
 			p.cfg.Logf("bad page request: %v", err)
 			return false
 		}
-		s.startPage(req)
+		return s.startPage(req)
 	case TObjectRequest:
 		var req ObjectRequest
 		if err := json.Unmarshal(payload, &req); err != nil {
@@ -548,7 +552,12 @@ func (s *session) drainNotice() {
 	}
 	sort.Strings(note.Pending)
 	s.proxy.drained.Add(1)
-	s.enqueueJSONLocked(TDrain, note)
+	if err := s.enqueueJSONLocked(TDrain, note); err != nil {
+		// The client can never learn it should recover elsewhere; kill the
+		// connection so its standard disconnect path takes over.
+		s.proxy.cfg.Logf("%v", err)
+		s.conn.Close()
+	}
 }
 
 // teardown releases everything a session holds: the connection, the pending
@@ -628,10 +637,7 @@ func (s *session) writeLoop() {
 		}
 
 		s.mu.Lock()
-		if rel := f.reserved + drained; rel > 0 {
-			s.sendqBytes -= rel
-			s.proxy.queued.Add(-rel)
-		}
+		s.releaseQueuedLocked(f.reserved + drained)
 		if err != nil {
 			s.proxy.cfg.Logf("session write: %v", err)
 			s.drainLocked()
@@ -644,44 +650,69 @@ func (s *session) writeLoop() {
 	}
 }
 
+// releaseQueuedLocked returns n reserved bytes to the session and proxy push
+// budgets — the single point where pushq reservations die, as frames drain
+// onto the wire or with the session itself.
+//
+//parcelvet:release pushq
+func (s *session) releaseQueuedLocked(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.sendqBytes -= n
+	s.proxy.queued.Add(-n)
+}
+
 // drainLocked releases every remaining reservation of a dying session so the
 // proxy-wide budget is never leaked by disconnects.
 func (s *session) drainLocked() {
 	for _, f := range s.sendq {
-		if f.reserved > 0 {
-			s.sendqBytes -= f.reserved
-			s.proxy.queued.Add(-f.reserved)
-		}
+		s.releaseQueuedLocked(f.reserved)
 	}
 	s.sendq = nil
 	if s.mux != nil {
-		if n := s.mux.drain(); n > 0 {
-			s.sendqBytes -= n
-			s.proxy.queued.Add(-n)
-		}
+		s.releaseQueuedLocked(s.mux.drain())
 	}
 }
 
 // enqueueLocked appends one frame to the send queue and wakes the writer.
+// The frame's reservation rides with it: ownership of those pushq bytes
+// passes to the send queue, and the writer releases them as it drains.
+//
+//parcelvet:transfer pushq
 func (s *session) enqueueLocked(f outFrame) {
 	s.sendq = append(s.sendq, f)
 	s.sendCond.Signal()
 }
 
 // enqueueJSONLocked queues a small control frame (no budget reservation).
-func (s *session) enqueueJSONLocked(typ byte, v any) {
+// The returned error is the marshal failure; callers must tear the session
+// down on it (wireerr enforces this) — a silently dropped control note
+// strands the client waiting for a shed/drain/complete signal that never
+// comes.
+func (s *session) enqueueJSONLocked(typ byte, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
-		s.proxy.cfg.Logf("encode control frame %d: %v", typ, err)
-		return
+		return fmt.Errorf("parcelnet: encode control frame %d: %w", typ, err)
 	}
 	s.enqueueLocked(outFrame{typ: typ, payload: data})
+	return nil
 }
 
-func (s *session) startPage(req PageRequest) {
+// startPage begins serving one page request. It returns false — tearing the
+// session down — on a second TPageRequest over the same connection: the
+// protocol is one page per session, and silently replacing s.mux/s.bundler
+// would strand the old mux sender's reservations in sendqBytes and the
+// proxy-wide budget forever (drainLocked only ever drains the current mux).
+func (s *session) startPage(req PageRequest) bool {
 	cfg := s.proxy.cfg
 	cfg.Logf("page request: %s (ua=%q, have=%d)", req.URL, req.UserAgent, len(req.Have))
 	s.mu.Lock()
+	if s.bundler != nil {
+		s.mu.Unlock()
+		cfg.Logf("duplicate page request on one session: %s", req.URL)
+		return false
+	}
 	s.have = make(map[string]bool, len(req.Have))
 	for _, u := range req.Have {
 		s.have[u] = true
@@ -709,6 +740,7 @@ func (s *session) startPage(req PageRequest) {
 		func() { /* completion handled by the quiet heuristic */ },
 	)
 	crawl.start(req.URL)
+	return true
 }
 
 // fetchURL is the session's object source: the shared cross-session cache
@@ -858,7 +890,12 @@ func (s *session) declareComplete() {
 		return
 	}
 	// The note rides the send queue so it cannot overtake queued bundles.
-	s.enqueueJSONLocked(TComplete, note)
+	if err := s.enqueueJSONLocked(TComplete, note); err != nil {
+		// Without the note the client waits out its completion timeout; close
+		// the connection instead so it fails over immediately.
+		s.proxy.cfg.Logf("%v", err)
+		s.conn.Close()
+	}
 	s.mu.Unlock()
 }
 
@@ -985,7 +1022,12 @@ func (s *session) shedLocked(items []sched.Item) {
 	}
 	s.shedSeen += len(items)
 	s.proxy.shedTotal.Add(int64(len(items)))
-	s.enqueueJSONLocked(TShed, ShedNote{URLs: urls})
+	if err := s.enqueueJSONLocked(TShed, ShedNote{URLs: urls}); err != nil {
+		// The client would wait on pushes that never come instead of
+		// fetching the shed objects itself; tear the session down.
+		s.proxy.cfg.Logf("%v", err)
+		s.conn.Close()
+	}
 }
 
 // parkLocked defers items for later re-admission, counting each object once.

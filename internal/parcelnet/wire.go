@@ -144,7 +144,11 @@ func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 // ReadFramePooled reads one framed message into a buffer from the
 // size-bucketed frame pool. The caller owns the payload until it calls
 // ReleaseFrameBuf — after that the bytes may be reused by another frame, so
-// anything retained (object bodies, strings) must be copied out first.
+// anything retained (object bodies, strings) must be copied out first. The
+// pairing analyzer enforces the contract: on a nil error every path must
+// release the payload (a read error releases it internally).
+//
+//parcelvet:acquire framebuf
 func ReadFramePooled(r io.Reader) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
